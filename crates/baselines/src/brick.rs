@@ -1,0 +1,319 @@
+//! Brick analog (SC'19/PPoPP'21): fine-grained blocked stencil on the
+//! CUDA cores.
+//!
+//! Bricks decompose the grid into small fixed-size blocks whose data is
+//! staged once into on-chip memory and reused by every output that
+//! touches it: global traffic is ~1 read + 1 write per point, compute is
+//! one FMA per non-zero kernel point, and all accesses are coalesced.
+//! The analog stages a tile + halo into shared memory (stride padded to
+//! an odd count to avoid systematic bank conflicts, as brick layouts do)
+//! and sweeps the tile.
+
+use crate::common::{
+    make_grid1d, make_grid2d, make_grid3d, report_from_device, stage_tile_to_shared, ProblemSize,
+    StencilSystem, SystemResult,
+};
+use crate::naive::{taps_2d, taps_3d};
+use stencil_core::{AnyKernel, Grid1D, Grid2D, Grid3D, Kernel1D, Kernel2D, Kernel3D, Shape};
+use tcu_sim::Device;
+
+/// The Brick analog runner.
+#[derive(Debug, Clone, Default)]
+pub struct Brick;
+
+/// Pad a shared row stride to an odd element count (conflict avoidance).
+fn odd(stride: usize) -> usize {
+    stride | 1
+}
+
+impl Brick {
+    pub fn run_2d(dev: &mut Device, grid: &Grid2D, k: &Kernel2D, steps: usize) -> Grid2D {
+        let (m, n, halo) = (grid.rows(), grid.cols(), grid.halo());
+        let pcols = grid.padded_cols();
+        let r = k.radius();
+        let a = dev.alloc_from(grid.padded());
+        let b = dev.alloc_from(grid.padded());
+        let (mut cur, mut next) = (a, b);
+        // Fine-grained 8x8 bricks: the defining trade-off of the brick
+        // layout is small blocks with per-brick halo traffic (neighbour
+        // bricks re-read through L2/global).
+        let (bm, bn) = (8usize, 8usize);
+        let blocks_x = m.div_ceil(bm);
+        let blocks_y = n.div_ceil(bn);
+        let stride = odd(bn + 2 * r);
+        let shared = (bm + 2 * r) * stride + 64;
+        let taps = taps_2d(k);
+        for _ in 0..steps {
+            let (src, dst) = (cur, next);
+            dev.launch(blocks_x * blocks_y, shared, |bid, ctx| {
+                let bx = bid / blocks_y;
+                let by = bid % blocks_y;
+                let rows_here = bm.min(m - bx * bm);
+                let cols_here = bn.min(n - by * bn);
+                stage_tile_to_shared(
+                    ctx,
+                    src,
+                    bx * bm + halo - r,
+                    by * bn + halo - r,
+                    rows_here + 2 * r,
+                    cols_here + 2 * r,
+                    pcols,
+                    0,
+                    stride,
+                );
+                let mut addrs = [0usize; 32];
+                let mut vals = [0.0f64; 32];
+                let mut sums = [0.0f64; 32];
+                for x in 0..rows_here {
+                    let mut y = 0usize;
+                    while y < cols_here {
+                        let lanes = 32.min(cols_here - y);
+                        sums[..lanes].fill(0.0);
+                        for &(dx, dy, w) in &taps {
+                            let row = (x as isize + r as isize + dx) as usize;
+                            for l in 0..lanes {
+                                addrs[l] =
+                                    row * stride + ((y + l + r) as isize + dy) as usize;
+                            }
+                            ctx.smem_load(&addrs[..lanes], &mut vals[..lanes]);
+                            ctx.count_fma(lanes as u64);
+                            for l in 0..lanes {
+                                sums[l] += w * vals[l];
+                            }
+                        }
+                        let base = (bx * bm + x + halo) * pcols + by * bn + y + halo;
+                        ctx.gmem_write_span(dst, base, &sums[..lanes]);
+                        y += lanes;
+                    }
+                }
+            });
+            std::mem::swap(&mut cur, &mut next);
+        }
+        let mut out = grid.clone();
+        let data = dev.download(cur).to_vec();
+        out.padded_mut().copy_from_slice(&data);
+        out
+    }
+
+    pub fn run_1d(dev: &mut Device, grid: &Grid1D, k: &Kernel1D, steps: usize) -> Grid1D {
+        let (n, halo) = (grid.len(), grid.halo());
+        let r = k.radius();
+        let a = dev.alloc_from(grid.padded());
+        let b = dev.alloc_from(grid.padded());
+        let (mut cur, mut next) = (a, b);
+        let block = 2048usize;
+        let blocks = n.div_ceil(block);
+        let taps: Vec<(isize, f64)> = (-(r as isize)..=r as isize)
+            .map(|d| (d, k.weight(d)))
+            .filter(|&(_, w)| w != 0.0)
+            .collect();
+        for _ in 0..steps {
+            let (src, dst) = (cur, next);
+            dev.launch(blocks, block + 2 * r + 64, |bid, ctx| {
+                let i0 = bid * block;
+                let len = block.min(n - i0);
+                let seg = ctx.gmem_read_span(src, i0 + halo - r, len + 2 * r);
+                let mut saddrs: Vec<usize> = Vec::with_capacity(32);
+                let mut i = 0;
+                while i < seg.len() {
+                    let lanes = 32.min(seg.len() - i);
+                    saddrs.clear();
+                    saddrs.extend(i..i + lanes);
+                    ctx.smem_store(&saddrs, &seg[i..i + lanes]);
+                    i += lanes;
+                }
+                let mut addrs = [0usize; 32];
+                let mut vals = [0.0f64; 32];
+                let mut sums = [0.0f64; 32];
+                let mut y = 0usize;
+                while y < len {
+                    let lanes = 32.min(len - y);
+                    sums[..lanes].fill(0.0);
+                    for &(d, w) in &taps {
+                        for l in 0..lanes {
+                            addrs[l] = ((y + l + r) as isize + d) as usize;
+                        }
+                        ctx.smem_load(&addrs[..lanes], &mut vals[..lanes]);
+                        ctx.count_fma(lanes as u64);
+                        for l in 0..lanes {
+                            sums[l] += w * vals[l];
+                        }
+                    }
+                    ctx.gmem_write_span(dst, i0 + y + halo, &sums[..lanes]);
+                    y += lanes;
+                }
+            });
+            std::mem::swap(&mut cur, &mut next);
+        }
+        let mut out = grid.clone();
+        let data = dev.download(cur).to_vec();
+        out.padded_mut().copy_from_slice(&data);
+        out
+    }
+
+    pub fn run_3d(dev: &mut Device, grid: &Grid3D, k: &Kernel3D, steps: usize) -> Grid3D {
+        let (d, m, n, halo) = (grid.depth(), grid.rows(), grid.cols(), grid.halo());
+        let pcols = grid.padded_cols();
+        let plane = grid.padded_rows() * pcols;
+        let r = k.radius();
+        let a = dev.alloc_from(grid.padded());
+        let b = dev.alloc_from(grid.padded());
+        let (mut cur, mut next) = (a, b);
+        // 4x4x4 bricks.
+        let (bd, bm, bn) = (4usize, 4usize, 4usize);
+        let blocks_z = d.div_ceil(bd);
+        let blocks_x = m.div_ceil(bm);
+        let blocks_y = n.div_ceil(bn);
+        let stride = odd(bn + 2 * r);
+        let plane_stride = (bm + 2 * r) * stride;
+        let shared = (bd + 2 * r) * plane_stride + 64;
+        let taps = taps_3d(k);
+        for _ in 0..steps {
+            let (src, dst) = (cur, next);
+            dev.launch(blocks_z * blocks_x * blocks_y, shared, |bid, ctx| {
+                let bz = bid / (blocks_x * blocks_y);
+                let rem = bid % (blocks_x * blocks_y);
+                let bx = rem / blocks_y;
+                let by = rem % blocks_y;
+                let depth_here = bd.min(d - bz * bd);
+                let rows_here = bm.min(m - bx * bm);
+                let cols_here = bn.min(n - by * bn);
+                for t in 0..depth_here + 2 * r {
+                    let zrow = (bz * bd + t + halo - r) * plane;
+                    stage_tile_to_shared(
+                        ctx,
+                        src,
+                        zrow / pcols + bx * bm + halo - r, // row index within flat array
+                        by * bn + halo - r,
+                        rows_here + 2 * r,
+                        cols_here + 2 * r,
+                        pcols,
+                        t * plane_stride,
+                        stride,
+                    );
+                }
+                let mut addrs = [0usize; 32];
+                let mut vals = [0.0f64; 32];
+                let mut sums = [0.0f64; 32];
+                for z in 0..depth_here {
+                    for x in 0..rows_here {
+                        let mut y = 0usize;
+                        while y < cols_here {
+                            let lanes = 32.min(cols_here - y);
+                            sums[..lanes].fill(0.0);
+                            for &(dz, dx, dy, w) in &taps {
+                                let pz = (z as isize + r as isize + dz) as usize;
+                                let px = (x as isize + r as isize + dx) as usize;
+                                for l in 0..lanes {
+                                    addrs[l] = pz * plane_stride
+                                        + px * stride
+                                        + ((y + l + r) as isize + dy) as usize;
+                                }
+                                ctx.smem_load(&addrs[..lanes], &mut vals[..lanes]);
+                                ctx.count_fma(lanes as u64);
+                                for l in 0..lanes {
+                                    sums[l] += w * vals[l];
+                                }
+                            }
+                            let base = (bz * bd + z + halo) * plane
+                                + (bx * bm + x + halo) * pcols
+                                + by * bn
+                                + y
+                                + halo;
+                            ctx.gmem_write_span(dst, base, &sums[..lanes]);
+                            y += lanes;
+                        }
+                    }
+                }
+            });
+            std::mem::swap(&mut cur, &mut next);
+        }
+        let mut out = grid.clone();
+        let data = dev.download(cur).to_vec();
+        out.padded_mut().copy_from_slice(&data);
+        out
+    }
+}
+
+impl StencilSystem for Brick {
+    fn name(&self) -> &'static str {
+        "Brick"
+    }
+
+    fn supports(&self, _shape: Shape) -> bool {
+        true
+    }
+
+    fn run(&self, shape: Shape, size: ProblemSize, steps: usize, seed: u64) -> Option<SystemResult> {
+        let mut dev = Device::a100();
+        let output = match (shape.kernel(), size) {
+            (AnyKernel::D1(k), ProblemSize::D1(n)) => {
+                let g = make_grid1d(n, k.radius(), seed);
+                Self::run_1d(&mut dev, &g, &k, steps).interior()
+            }
+            (AnyKernel::D2(k), ProblemSize::D2(m, n)) => {
+                let g = make_grid2d(m, n, k.radius(), seed);
+                Self::run_2d(&mut dev, &g, &k, steps).interior()
+            }
+            (AnyKernel::D3(k), ProblemSize::D3(d, m, n)) => {
+                let g = make_grid3d(d, m, n, k.radius(), seed);
+                Self::run_3d(&mut dev, &g, &k, steps).interior()
+            }
+            _ => return None,
+        };
+        Some(SystemResult {
+            output,
+            report: report_from_device(&dev, size.points(), steps as u64),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_core::assert_close_default;
+    use stencil_core::reference::{run2d, run3d};
+
+    #[test]
+    fn brick_2d_matches_reference() {
+        let k = Kernel2D::box_uniform(3);
+        let g = make_grid2d(40, 70, 3, 5);
+        let mut dev = Device::a100();
+        let got = Brick::run_2d(&mut dev, &g, &k, 2);
+        assert_close_default(&got.interior(), &run2d(&g, &k, 2).interior());
+    }
+
+    #[test]
+    fn brick_3d_matches_reference() {
+        let k = Kernel3D::box_uniform(1);
+        let g = make_grid3d(10, 12, 40, 1, 6);
+        let mut dev = Device::a100();
+        let got = Brick::run_3d(&mut dev, &g, &k, 2);
+        assert_close_default(&got.interior(), &run3d(&g, &k, 2).interior());
+    }
+
+    #[test]
+    fn brick_global_traffic_is_near_minimal() {
+        let k = Kernel2D::box_uniform(1);
+        let g = make_grid2d(128, 128, 1, 1);
+        let mut dev = Device::a100();
+        Brick::run_2d(&mut dev, &g, &k, 1);
+        let per_point = (dev.counters.global_read_bytes + dev.counters.global_write_bytes) as f64
+            / (128.0 * 128.0);
+        // 1 write + (8+2r)^2/64 reads per point: ~2.6 words for r = 1.
+        assert!(per_point < 3.5 * 8.0, "bytes/pt = {per_point}");
+        assert!(dev.counters.uncoalesced_global_access_pct() < 10.0);
+    }
+
+    #[test]
+    fn brick_runs_every_benchmark_shape() {
+        for &shape in Shape::benchmarks() {
+            let size = match shape.dim() {
+                1 => ProblemSize::D1(512),
+                2 => ProblemSize::D2(24, 40),
+                _ => ProblemSize::D3(6, 8, 16),
+            };
+            assert!(Brick.run(shape, size, 1, 3).is_some(), "{shape}");
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! cuDNN analog: `FWD_IMPLICIT_PRECOMP_GEMM` convolution with
+//! `channel = 1` (paper §5.1).
+//!
+//! cuDNN computes the stencil as a dense convolution: the kernel's zero
+//! weights (star shapes) are multiplied like any other, and the GEMM
+//! machinery processes its full output-column tile although only one
+//! column (one output channel) is useful — the paper attributes cuDNN's
+//! poor showing to "not using Tensor Cores and not optimizing for
+//! one-channel cases" for FP64, so the analog runs on the CUDA cores with
+//! an 8-wide padded N dimension: 8x the useful FMA work, the im2row
+//! gather reads each window element once from a staged shared tile.
+
+use crate::common::{
+    make_grid1d, make_grid2d, make_grid3d, report_from_device, stage_tile_to_shared, ProblemSize,
+    StencilSystem, SystemResult,
+};
+use stencil_core::{AnyKernel, Grid1D, Grid2D, Grid3D, Kernel1D, Kernel2D, Kernel3D, Shape};
+use tcu_sim::{Device, INACTIVE};
+
+/// Padded GEMM output-tile width (channels dimension): one useful column.
+const GEMM_N: u64 = 8;
+
+/// The cuDNN analog runner.
+#[derive(Debug, Clone, Default)]
+pub struct CudnnGemm;
+
+impl CudnnGemm {
+    pub fn run_2d(dev: &mut Device, grid: &Grid2D, k: &Kernel2D, steps: usize) -> Grid2D {
+        let (m, n, halo) = (grid.rows(), grid.cols(), grid.halo());
+        let pcols = grid.padded_cols();
+        let r = k.radius();
+        let nk = k.nk();
+        let a = dev.alloc_from(grid.padded());
+        let b = dev.alloc_from(grid.padded());
+        let (mut cur, mut next) = (a, b);
+        let (bm, bn) = (8usize, 32usize);
+        let blocks_x = m.div_ceil(bm);
+        let blocks_y = n.div_ceil(bn);
+        let tile_rows = bm + 2 * r;
+        let tile_cols = bn + 2 * r;
+        let stride = tile_cols; // dense conv staging, no conflict padding
+        let shared = tile_rows * stride + 64;
+        // Dense weights, zeros included.
+        let weights: Vec<(usize, usize, f64)> = (0..nk)
+            .flat_map(|kx| (0..nk).map(move |ky| (kx, ky, 0.0)))
+            .map(|(kx, ky, _)| (kx, ky, k.weight_tl(kx, ky)))
+            .collect();
+        for _ in 0..steps {
+            let (src, dst) = (cur, next);
+            dev.launch(blocks_x * blocks_y, shared, |bid, ctx| {
+                let bx = bid / blocks_y;
+                let by = bid % blocks_y;
+                let rows_here = bm.min(m - bx * bm);
+                let cols_here = bn.min(n - by * bn);
+                stage_tile_to_shared(
+                    ctx,
+                    src,
+                    bx * bm + halo - r,
+                    by * bn + halo - r,
+                    rows_here + 2 * r,
+                    cols_here + 2 * r,
+                    pcols,
+                    0,
+                    stride,
+                );
+                let mut addrs = [0usize; 32];
+                let mut vals = [0.0f64; 32];
+                let mut sums = [0.0f64; 32];
+                for x in 0..rows_here {
+                    let mut y = 0usize;
+                    while y < cols_here {
+                        let lanes = 32.min(cols_here - y);
+                        sums[..lanes].fill(0.0);
+                        for &(kx, ky, w) in &weights {
+                            for l in 0..lanes {
+                                addrs[l] = (x + kx) * stride + y + l + ky;
+                            }
+                            ctx.smem_load(&addrs[..lanes], &mut vals[..lanes]);
+                            // GEMM N-tile of 8 columns, 1 useful.
+                            ctx.count_fma(GEMM_N * lanes as u64);
+                            for l in 0..lanes {
+                                sums[l] += w * vals[l];
+                            }
+                        }
+                        let base = (bx * bm + x + halo) * pcols + by * bn + y + halo;
+                        ctx.gmem_write_span(dst, base, &sums[..lanes]);
+                        y += lanes;
+                    }
+                }
+            });
+            std::mem::swap(&mut cur, &mut next);
+        }
+        let mut out = grid.clone();
+        let data = dev.download(cur).to_vec();
+        out.padded_mut().copy_from_slice(&data);
+        out
+    }
+
+    pub fn run_1d(dev: &mut Device, grid: &Grid1D, k: &Kernel1D, steps: usize) -> Grid1D {
+        let (n, halo) = (grid.len(), grid.halo());
+        let r = k.radius();
+        let a = dev.alloc_from(grid.padded());
+        let b = dev.alloc_from(grid.padded());
+        let (mut cur, mut next) = (a, b);
+        let block = 1024usize;
+        let blocks = n.div_ceil(block);
+        let weights: Vec<(usize, f64)> = k.weights().iter().copied().enumerate().collect();
+        for _ in 0..steps {
+            let (src, dst) = (cur, next);
+            dev.launch(blocks, block + 2 * r + 64, |bid, ctx| {
+                let i0 = bid * block;
+                let len = block.min(n - i0);
+                // Stage the segment + halo.
+                let seg = ctx.gmem_read_span(src, i0 + halo - r, len + 2 * r);
+                let mut saddrs: Vec<usize> = Vec::with_capacity(32);
+                let mut i = 0;
+                while i < seg.len() {
+                    let lanes = 32.min(seg.len() - i);
+                    saddrs.clear();
+                    saddrs.extend(i..i + lanes);
+                    ctx.smem_store(&saddrs, &seg[i..i + lanes]);
+                    i += lanes;
+                }
+                let mut addrs = [0usize; 32];
+                let mut vals = [0.0f64; 32];
+                let mut sums = [0.0f64; 32];
+                let mut y = 0usize;
+                while y < len {
+                    let lanes = 32.min(len - y);
+                    sums[..lanes].fill(0.0);
+                    for &(ki, w) in &weights {
+                        for l in 0..lanes {
+                            addrs[l] = y + l + ki;
+                        }
+                        ctx.smem_load(&addrs[..lanes], &mut vals[..lanes]);
+                        ctx.count_fma(GEMM_N * lanes as u64);
+                        for l in 0..lanes {
+                            sums[l] += w * vals[l];
+                        }
+                    }
+                    ctx.gmem_write_span(dst, i0 + y + halo, &sums[..lanes]);
+                    y += lanes;
+                }
+            });
+            std::mem::swap(&mut cur, &mut next);
+        }
+        let mut out = grid.clone();
+        let data = dev.download(cur).to_vec();
+        out.padded_mut().copy_from_slice(&data);
+        out
+    }
+
+    pub fn run_3d(dev: &mut Device, grid: &Grid3D, k: &Kernel3D, steps: usize) -> Grid3D {
+        let (d, m, n, halo) = (grid.depth(), grid.rows(), grid.cols(), grid.halo());
+        let pcols = grid.padded_cols();
+        let plane = grid.padded_rows() * pcols;
+        let r = k.radius();
+        let nk = k.nk();
+        let a = dev.alloc_from(grid.padded());
+        let b = dev.alloc_from(grid.padded());
+        let (mut cur, mut next) = (a, b);
+        let (bm, bn) = (8usize, 32usize);
+        let blocks_x = m.div_ceil(bm);
+        let blocks_y = n.div_ceil(bn);
+        let tile_rows = bm + 2 * r;
+        let tile_cols = bn + 2 * r;
+        let stride = tile_cols;
+        let plane_tile = tile_rows * stride;
+        let shared = nk * plane_tile + 64;
+        let mut weights = Vec::new();
+        for kz in 0..nk {
+            for kx in 0..nk {
+                for ky in 0..nk {
+                    weights.push((kz, kx, ky, k.weight(
+                        kz as isize - r as isize,
+                        kx as isize - r as isize,
+                        ky as isize - r as isize,
+                    )));
+                }
+            }
+        }
+        for _ in 0..steps {
+            let (src, dst) = (cur, next);
+            dev.launch(d * blocks_x * blocks_y, shared, |bid, ctx| {
+                let z = bid / (blocks_x * blocks_y);
+                let rem = bid % (blocks_x * blocks_y);
+                let bx = rem / blocks_y;
+                let by = rem % blocks_y;
+                let rows_here = bm.min(m - bx * bm);
+                let cols_here = bn.min(n - by * bn);
+                for kz in 0..nk {
+                    let zplane = (z + halo - r + kz) * plane;
+                    // Stage plane slice: rows need global row index within
+                    // the plane.
+                    let row0 = bx * bm + halo - r;
+                    let col0 = by * bn + halo - r;
+                    for t in 0..rows_here + 2 * r {
+                        let vals = ctx.gmem_read_span(
+                            src,
+                            zplane + (row0 + t) * pcols + col0,
+                            cols_here + 2 * r,
+                        );
+                        let mut saddrs: Vec<usize> = Vec::with_capacity(32);
+                        let mut i = 0;
+                        while i < vals.len() {
+                            let lanes = 32.min(vals.len() - i);
+                            saddrs.clear();
+                            saddrs.extend(
+                                (0..lanes).map(|l| kz * plane_tile + t * stride + i + l),
+                            );
+                            ctx.smem_store(&saddrs, &vals[i..i + lanes]);
+                            i += lanes;
+                        }
+                    }
+                }
+                let mut addrs = [0usize; 32];
+                let mut vals = [0.0f64; 32];
+                let mut sums = [0.0f64; 32];
+                for x in 0..rows_here {
+                    let mut y = 0usize;
+                    while y < cols_here {
+                        let lanes = 32.min(cols_here - y);
+                        sums[..lanes].fill(0.0);
+                        for &(kz, kx, ky, w) in &weights {
+                            for l in 0..lanes {
+                                addrs[l] = kz * plane_tile + (x + kx) * stride + y + l + ky;
+                            }
+                            ctx.smem_load(&addrs[..lanes], &mut vals[..lanes]);
+                            ctx.count_fma(GEMM_N * lanes as u64);
+                            for l in 0..lanes {
+                                sums[l] += w * vals[l];
+                            }
+                        }
+                        let base =
+                            (z + halo) * plane + (bx * bm + x + halo) * pcols + by * bn + y + halo;
+                        ctx.gmem_write_span(dst, base, &sums[..lanes]);
+                        y += lanes;
+                    }
+                }
+            });
+            std::mem::swap(&mut cur, &mut next);
+        }
+        let mut out = grid.clone();
+        let data = dev.download(cur).to_vec();
+        out.padded_mut().copy_from_slice(&data);
+        out
+    }
+}
+
+impl StencilSystem for CudnnGemm {
+    fn name(&self) -> &'static str {
+        "cuDNN"
+    }
+
+    fn supports(&self, _shape: Shape) -> bool {
+        true
+    }
+
+    fn run(&self, shape: Shape, size: ProblemSize, steps: usize, seed: u64) -> Option<SystemResult> {
+        let mut dev = Device::a100();
+        let output = match (shape.kernel(), size) {
+            (AnyKernel::D1(k), ProblemSize::D1(n)) => {
+                let g = make_grid1d(n, k.radius(), seed);
+                Self::run_1d(&mut dev, &g, &k, steps).interior()
+            }
+            (AnyKernel::D2(k), ProblemSize::D2(m, n)) => {
+                let g = make_grid2d(m, n, k.radius(), seed);
+                Self::run_2d(&mut dev, &g, &k, steps).interior()
+            }
+            (AnyKernel::D3(k), ProblemSize::D3(d, m, n)) => {
+                let g = make_grid3d(d, m, n, k.radius(), seed);
+                Self::run_3d(&mut dev, &g, &k, steps).interior()
+            }
+            _ => return None,
+        };
+        Some(SystemResult {
+            output,
+            report: report_from_device(&dev, size.points(), steps as u64),
+        })
+    }
+}
+
+/// Keep INACTIVE import used (mask-free writes here are all contiguous).
+#[allow(dead_code)]
+const _: usize = INACTIVE;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_core::assert_close_default;
+    use stencil_core::reference::{run1d, run2d, run3d};
+
+    #[test]
+    fn cudnn_2d_matches_reference() {
+        let k = Kernel2D::star(0.5, &[0.125]);
+        let g = make_grid2d(26, 45, 1, 5);
+        let mut dev = Device::a100();
+        let got = CudnnGemm::run_2d(&mut dev, &g, &k, 2);
+        assert_close_default(&got.interior(), &run2d(&g, &k, 2).interior());
+    }
+
+    #[test]
+    fn cudnn_1d_matches_reference() {
+        let k = Kernel1D::new(vec![0.0625, 0.25, 0.375, 0.25, 0.0625]);
+        let g = make_grid1d(3000, 2, 8);
+        let mut dev = Device::a100();
+        let got = CudnnGemm::run_1d(&mut dev, &g, &k, 2);
+        assert_close_default(&got.interior(), &run1d(&g, &k, 2).interior());
+    }
+
+    #[test]
+    fn cudnn_3d_matches_reference() {
+        let k = Kernel3D::box_uniform(1);
+        let g = make_grid3d(5, 9, 33, 1, 2);
+        let mut dev = Device::a100();
+        let got = CudnnGemm::run_3d(&mut dev, &g, &k, 2);
+        assert_close_default(&got.interior(), &run3d(&g, &k, 2).interior());
+    }
+
+    #[test]
+    fn dense_gemm_pays_for_star_zeros_and_padded_channels() {
+        // Star-2D13P through cuDNN: 49 dense taps x 8 channels per point.
+        let k = Kernel2D::star(0.4, &[0.10, 0.03, 0.02]);
+        let g = make_grid2d(32, 32, 3, 1);
+        let mut dev = Device::a100();
+        CudnnGemm::run_2d(&mut dev, &g, &k, 1);
+        let fma_per_point = dev.counters.cuda_fma_ops as f64 / 1024.0;
+        assert!((fma_per_point - 49.0 * 8.0).abs() < 1.0, "{fma_per_point}");
+    }
+}

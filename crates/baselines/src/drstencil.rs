@@ -1,0 +1,556 @@
+//! DRStencil analog (HPCC'21): fusion-partition temporal blocking with
+//! data-reuse code generation on the CUDA cores.
+//!
+//! `DrStencil::new(t)` fuses `t` time steps per global round trip: a
+//! block stages its tile with a `t·r` halo, advances it `t` steps inside
+//! shared memory (double-buffered), and writes only the final values —
+//! global traffic is amortized `t`-fold (the paper's §5.4 DRStencil-T3
+//! runs `t = 3`).
+//!
+//! The "DR" (data reuse) part — register tiling so each thread keeps a
+//! sliding window of loaded values — is modelled by charging one shared
+//! read per `REUSE = 2` kernel taps (register tiling reuses each loaded
+//! value about twice across neighbouring outputs); the arithmetic itself
+//! is performed exactly.
+
+use crate::common::{
+    make_grid1d, make_grid2d, make_grid3d, report_from_device, stage_tile_to_shared, ProblemSize,
+    StencilSystem, SystemResult,
+};
+use crate::naive::{taps_2d, taps_3d};
+use stencil_core::{AnyKernel, Grid1D, Grid2D, Grid3D, Kernel1D, Kernel2D, Kernel3D, Shape};
+use tcu_sim::{BlockCtx, Device};
+
+/// Register-tiling reuse factor: shared reads charged per point =
+/// `taps / REUSE` (see module docs). DRStencil's code generation targets
+/// low-order stencils; a thread's register window covers roughly two
+/// reuses per loaded value across the shapes evaluated here.
+pub const REUSE: u64 = 2;
+
+/// The DRStencil analog runner with fusion degree `t`.
+#[derive(Debug, Clone)]
+pub struct DrStencil {
+    /// Temporal fusion degree (1 = no temporal blocking, 3 = "T3").
+    pub t: usize,
+}
+
+impl DrStencil {
+    pub fn new(t: usize) -> Self {
+        assert!(t >= 1);
+        Self { t }
+    }
+
+    /// Charge the modelled shared-read traffic for `lanes` outputs x
+    /// `taps` kernel points under register reuse.
+    fn charge_reads(ctx: &mut BlockCtx, lanes: u64, taps: u64) {
+        let reads = (lanes * taps).div_ceil(REUSE);
+        let requests = reads.div_ceil(16);
+        ctx.counters.shared_read_bytes += 8 * reads;
+        ctx.counters.shared_read_requests += requests;
+        ctx.counters.shared_scalar_requests += requests;
+        ctx.count_fma(lanes * taps);
+    }
+
+    pub fn run_2d(dev: &mut Device, grid: &Grid2D, k: &Kernel2D, steps: usize, t: usize) -> Grid2D {
+        let (m, n, halo_grid) = (grid.rows(), grid.cols(), grid.halo());
+        let pcols = grid.padded_cols();
+        let r = k.radius();
+        let taps = taps_2d(k);
+        // Work grid with enough halo for t-step blocks (frozen boundary).
+        let work = if halo_grid >= t * r { grid.clone() } else { grid.with_halo(t * r) };
+        let halo = work.halo();
+        let pcols_w = work.padded_cols();
+        let a = dev.alloc_from(work.padded());
+        let b = dev.alloc_from(work.padded());
+        let (mut cur, mut next) = (a, b);
+        let (bm, bn) = (32usize, 32usize);
+        let blocks_x = m.div_ceil(bm);
+        let blocks_y = n.div_ceil(bn);
+        let mut remaining = steps;
+        while remaining > 0 {
+            let tt = t.min(remaining);
+            let h = tt * r; // staged halo for this fused block
+            let stride = (bn + 2 * h) | 1;
+            let buf_elems = (bm + 2 * h) * stride;
+            let shared = 2 * buf_elems + 64;
+            let (src, dst) = (cur, next);
+            let taps_ref = &taps;
+            dev.launch(blocks_x * blocks_y, shared, |bid, ctx| {
+                let bx = bid / blocks_y;
+                let by = bid % blocks_y;
+                let rows_here = bm.min(m - bx * bm);
+                let cols_here = bn.min(n - by * bn);
+                let trows = rows_here + 2 * h;
+                let tcols = cols_here + 2 * h;
+                stage_tile_to_shared(
+                    ctx,
+                    src,
+                    bx * bm + halo - h,
+                    by * bn + halo - h,
+                    trows,
+                    tcols,
+                    pcols_w,
+                    0,
+                    stride,
+                );
+                // Advance tt steps inside shared memory; valid region
+                // shrinks by r each step.
+                let mut src_off = 0usize;
+                let mut dst_off = buf_elems;
+                for s in 1..=tt {
+                    let lo = s * r;
+                    for x in lo..trows - lo {
+                        let mut y = lo;
+                        while y < tcols - lo {
+                            let lanes = 32.min(tcols - lo - y);
+                            Self::charge_reads(ctx, lanes as u64, taps_ref.len() as u64);
+                            // Exact arithmetic via raw shared access (the
+                            // traffic was charged above under reuse).
+                            let mut sums = [0.0f64; 32];
+                            {
+                                let raw = ctx.shared.raw();
+                                for l in 0..lanes {
+                                    let mut sum = 0.0;
+                                    for &(dx, dy, w) in taps_ref {
+                                        let px = (x as isize + dx) as usize;
+                                        let py = (y as isize + l as isize + dy) as usize;
+                                        sum += w * raw[src_off + px * stride + py];
+                                    }
+                                    sums[l] = sum;
+                                }
+                            }
+                            let addrs: Vec<usize> =
+                                (0..lanes).map(|l| dst_off + x * stride + y + l).collect();
+                            ctx.smem_store(&addrs, &sums[..lanes]);
+                            y += lanes;
+                        }
+                    }
+                    // Copy the frozen ring forward so the next step reads
+                    // consistent halo values (charged as shared copies).
+                    {
+                        let (ring_addrs, ring_vals): (Vec<usize>, Vec<f64>) = {
+                            let raw = ctx.shared.raw();
+                            let mut addrs = Vec::new();
+                            let mut vals = Vec::new();
+                            for x in 0..trows {
+                                for y in 0..tcols {
+                                    let inner = x >= lo
+                                        && x < trows - lo
+                                        && y >= lo
+                                        && y < tcols - lo;
+                                    if !inner {
+                                        addrs.push(dst_off + x * stride + y);
+                                        vals.push(raw[src_off + x * stride + y]);
+                                    }
+                                }
+                            }
+                            (addrs, vals)
+                        };
+                        let mut i = 0;
+                        while i < ring_addrs.len() {
+                            let lanes = 32.min(ring_addrs.len() - i);
+                            ctx.smem_store(&ring_addrs[i..i + lanes], &ring_vals[i..i + lanes]);
+                            i += lanes;
+                        }
+                    }
+                    std::mem::swap(&mut src_off, &mut dst_off);
+                }
+                // Write back the final interior values.
+                {
+                    let mut rows: Vec<(usize, Vec<f64>)> = Vec::with_capacity(rows_here);
+                    {
+                        let raw = ctx.shared.raw();
+                        for x in 0..rows_here {
+                            let base = src_off + (x + h) * stride + h;
+                            rows.push((x, raw[base..base + cols_here].to_vec()));
+                        }
+                    }
+                    for (x, vals) in rows {
+                        // Charge the shared reads of the write-back sweep.
+                        ctx.counters.shared_read_bytes += 8 * vals.len() as u64;
+                        ctx.counters.shared_read_requests += (vals.len() as u64).div_ceil(16);
+                        let base = (bx * bm + x + halo) * pcols_w + by * bn + halo;
+                        ctx.gmem_write_span(dst, base, &vals);
+                    }
+                }
+            });
+            std::mem::swap(&mut cur, &mut next);
+            remaining -= tt;
+        }
+        // Extract interior back into the caller's halo width.
+        let data = dev.download(cur);
+        let mut out = grid.clone();
+        for x in 0..m {
+            for y in 0..n {
+                out.set(x, y, data[(x + halo) * pcols_w + y + halo]);
+            }
+        }
+        let _ = pcols;
+        out
+    }
+
+    pub fn run_1d(dev: &mut Device, grid: &Grid1D, k: &Kernel1D, steps: usize, t: usize) -> Grid1D {
+        // 1D via the 2D machinery with a single row would waste halo; do a
+        // direct implementation.
+        let n = grid.len();
+        let r = k.radius();
+        let work = if grid.halo() >= t * r { grid.clone() } else { grid.with_halo(t * r) };
+        let halo = work.halo();
+        let a = dev.alloc_from(work.padded());
+        let b = dev.alloc_from(work.padded());
+        let (mut cur, mut next) = (a, b);
+        let block = 2048usize;
+        let blocks = n.div_ceil(block);
+        let taps: Vec<(isize, f64)> = (-(r as isize)..=r as isize)
+            .map(|d| (d, k.weight(d)))
+            .filter(|&(_, w)| w != 0.0)
+            .collect();
+        let mut remaining = steps;
+        while remaining > 0 {
+            let tt = t.min(remaining);
+            let h = tt * r;
+            let buf = block + 2 * h;
+            let (src, dst) = (cur, next);
+            let taps_ref = &taps;
+            dev.launch(blocks, 2 * buf + 64, |bid, ctx| {
+                let i0 = bid * block;
+                let len = block.min(n - i0);
+                let tlen = len + 2 * h;
+                let seg = ctx.gmem_read_span(src, i0 + halo - h, tlen);
+                let mut addrs: Vec<usize> = Vec::with_capacity(32);
+                let mut i = 0;
+                while i < tlen {
+                    let lanes = 32.min(tlen - i);
+                    addrs.clear();
+                    addrs.extend(i..i + lanes);
+                    ctx.smem_store(&addrs, &seg[i..i + lanes]);
+                    i += lanes;
+                }
+                let mut src_off = 0usize;
+                let mut dst_off = buf;
+                for s in 1..=tt {
+                    let lo = s * r;
+                    let mut y = lo;
+                    while y < tlen - lo {
+                        let lanes = 32.min(tlen - lo - y);
+                        Self::charge_reads(ctx, lanes as u64, taps_ref.len() as u64);
+                        let mut sums = [0.0f64; 32];
+                        {
+                            let raw = ctx.shared.raw();
+                            for l in 0..lanes {
+                                let mut sum = 0.0;
+                                for &(d, w) in taps_ref {
+                                    sum += w * raw[src_off + ((y + l) as isize + d) as usize];
+                                }
+                                sums[l] = sum;
+                            }
+                        }
+                        let waddrs: Vec<usize> = (0..lanes).map(|l| dst_off + y + l).collect();
+                        ctx.smem_store(&waddrs, &sums[..lanes]);
+                        y += lanes;
+                    }
+                    // Frozen edge ring.
+                    let (ring_addrs, ring_vals): (Vec<usize>, Vec<f64>) = {
+                        let raw = ctx.shared.raw();
+                        let mut aa = Vec::new();
+                        let mut vv = Vec::new();
+                        for y in (0..lo).chain(tlen - lo..tlen) {
+                            aa.push(dst_off + y);
+                            vv.push(raw[src_off + y]);
+                        }
+                        (aa, vv)
+                    };
+                    let mut i = 0;
+                    while i < ring_addrs.len() {
+                        let lanes = 32.min(ring_addrs.len() - i);
+                        ctx.smem_store(&ring_addrs[i..i + lanes], &ring_vals[i..i + lanes]);
+                        i += lanes;
+                    }
+                    std::mem::swap(&mut src_off, &mut dst_off);
+                }
+                let vals: Vec<f64> = {
+                    let raw = ctx.shared.raw();
+                    raw[src_off + h..src_off + h + len].to_vec()
+                };
+                ctx.counters.shared_read_bytes += 8 * vals.len() as u64;
+                ctx.counters.shared_read_requests += (vals.len() as u64).div_ceil(16);
+                ctx.gmem_write_span(dst, i0 + halo, &vals);
+            });
+            std::mem::swap(&mut cur, &mut next);
+            remaining -= tt;
+        }
+        let data = dev.download(cur);
+        let mut out = grid.clone();
+        for i in 0..n {
+            out.set(i, data[i + halo]);
+        }
+        out
+    }
+
+    pub fn run_3d(
+        dev: &mut Device,
+        grid: &Grid3D,
+        k: &Kernel3D,
+        steps: usize,
+        t: usize,
+    ) -> Grid3D {
+        let (d, m, n) = (grid.depth(), grid.rows(), grid.cols());
+        let r = k.radius();
+        let taps = taps_3d(k);
+        let work = if grid.halo() >= t * r { grid.clone() } else { grid.with_halo(t * r) };
+        let halo = work.halo();
+        let pcols = work.padded_cols();
+        let plane = work.padded_rows() * pcols;
+        let a = dev.alloc_from(work.padded());
+        let b = dev.alloc_from(work.padded());
+        let (mut cur, mut next) = (a, b);
+        let (bd, bm, bn) = (4usize, 8usize, 32usize);
+        let blocks_z = d.div_ceil(bd);
+        let blocks_x = m.div_ceil(bm);
+        let blocks_y = n.div_ceil(bn);
+        let mut remaining = steps;
+        while remaining > 0 {
+            let tt = t.min(remaining);
+            let h = tt * r;
+            let stride = (bn + 2 * h) | 1;
+            let pstride = (bm + 2 * h) * stride;
+            let buf = (bd + 2 * h) * pstride;
+            let (src, dst) = (cur, next);
+            let taps_ref = &taps;
+            dev.launch(blocks_z * blocks_x * blocks_y, 2 * buf + 64, |bid, ctx| {
+                let bz = bid / (blocks_x * blocks_y);
+                let rem = bid % (blocks_x * blocks_y);
+                let bx = rem / blocks_y;
+                let by = rem % blocks_y;
+                let depth_here = bd.min(d - bz * bd);
+                let rows_here = bm.min(m - bx * bm);
+                let cols_here = bn.min(n - by * bn);
+                let (td, tr, tc) = (depth_here + 2 * h, rows_here + 2 * h, cols_here + 2 * h);
+                for z in 0..td {
+                    let zbase = (bz * bd + z + halo - h) * plane;
+                    stage_tile_to_shared(
+                        ctx,
+                        src,
+                        zbase / pcols + bx * bm + halo - h,
+                        by * bn + halo - h,
+                        tr,
+                        tc,
+                        pcols,
+                        z * pstride,
+                        stride,
+                    );
+                }
+                let mut src_off = 0usize;
+                let mut dst_off = buf;
+                for s in 1..=tt {
+                    let lo = s * r;
+                    for z in lo..td - lo {
+                        for x in lo..tr - lo {
+                            let mut y = lo;
+                            while y < tc - lo {
+                                let lanes = 32.min(tc - lo - y);
+                                Self::charge_reads(ctx, lanes as u64, taps_ref.len() as u64);
+                                let mut sums = [0.0f64; 32];
+                                {
+                                    let raw = ctx.shared.raw();
+                                    for l in 0..lanes {
+                                        let mut sum = 0.0;
+                                        for &(dz, dx, dy, w) in taps_ref {
+                                            let pz = (z as isize + dz) as usize;
+                                            let px = (x as isize + dx) as usize;
+                                            let py = ((y + l) as isize + dy) as usize;
+                                            sum += w
+                                                * raw[src_off + pz * pstride + px * stride + py];
+                                        }
+                                        sums[l] = sum;
+                                    }
+                                }
+                                let addrs: Vec<usize> = (0..lanes)
+                                    .map(|l| dst_off + z * pstride + x * stride + y + l)
+                                    .collect();
+                                ctx.smem_store(&addrs, &sums[..lanes]);
+                                y += lanes;
+                            }
+                        }
+                    }
+                    // Frozen shell.
+                    let (ring_addrs, ring_vals): (Vec<usize>, Vec<f64>) = {
+                        let raw = ctx.shared.raw();
+                        let mut aa = Vec::new();
+                        let mut vv = Vec::new();
+                        for z in 0..td {
+                            for x in 0..tr {
+                                for y in 0..tc {
+                                    let inner = z >= lo
+                                        && z < td - lo
+                                        && x >= lo
+                                        && x < tr - lo
+                                        && y >= lo
+                                        && y < tc - lo;
+                                    if !inner {
+                                        let idx = z * pstride + x * stride + y;
+                                        aa.push(dst_off + idx);
+                                        vv.push(raw[src_off + idx]);
+                                    }
+                                }
+                            }
+                        }
+                        (aa, vv)
+                    };
+                    let mut i = 0;
+                    while i < ring_addrs.len() {
+                        let lanes = 32.min(ring_addrs.len() - i);
+                        ctx.smem_store(&ring_addrs[i..i + lanes], &ring_vals[i..i + lanes]);
+                        i += lanes;
+                    }
+                    std::mem::swap(&mut src_off, &mut dst_off);
+                }
+                let mut rows: Vec<(usize, usize, Vec<f64>)> = Vec::new();
+                {
+                    let raw = ctx.shared.raw();
+                    for z in 0..depth_here {
+                        for x in 0..rows_here {
+                            let base = src_off + (z + h) * pstride + (x + h) * stride + h;
+                            rows.push((z, x, raw[base..base + cols_here].to_vec()));
+                        }
+                    }
+                }
+                for (z, x, vals) in rows {
+                    ctx.counters.shared_read_bytes += 8 * vals.len() as u64;
+                    ctx.counters.shared_read_requests += (vals.len() as u64).div_ceil(16);
+                    let base = (bz * bd + z + halo) * plane
+                        + (bx * bm + x + halo) * pcols
+                        + by * bn
+                        + halo;
+                    ctx.gmem_write_span(dst, base, &vals);
+                }
+            });
+            std::mem::swap(&mut cur, &mut next);
+            remaining -= tt;
+        }
+        let data = dev.download(cur);
+        let mut out = grid.clone();
+        for z in 0..d {
+            for x in 0..m {
+                for y in 0..n {
+                    out.set(z, x, y, data[(z + halo) * plane + (x + halo) * pcols + y + halo]);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl StencilSystem for DrStencil {
+    fn name(&self) -> &'static str {
+        if self.t >= 3 {
+            "DRStencil-T3"
+        } else {
+            "DRStencil"
+        }
+    }
+
+    fn supports(&self, _shape: Shape) -> bool {
+        true
+    }
+
+    fn run(&self, shape: Shape, size: ProblemSize, steps: usize, seed: u64) -> Option<SystemResult> {
+        let mut dev = Device::a100();
+        let output = match (shape.kernel(), size) {
+            (AnyKernel::D1(k), ProblemSize::D1(n)) => {
+                let g = make_grid1d(n, k.radius(), seed);
+                Self::run_1d(&mut dev, &g, &k, steps, self.t).interior()
+            }
+            (AnyKernel::D2(k), ProblemSize::D2(m, n)) => {
+                let g = make_grid2d(m, n, k.radius(), seed);
+                Self::run_2d(&mut dev, &g, &k, steps, self.t).interior()
+            }
+            (AnyKernel::D3(k), ProblemSize::D3(d, m, n)) => {
+                let g = make_grid3d(d, m, n, k.radius(), seed);
+                Self::run_3d(&mut dev, &g, &k, steps, self.t).interior()
+            }
+            _ => return None,
+        };
+        Some(SystemResult {
+            output,
+            report: report_from_device(&dev, size.points(), steps as u64),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_core::reference::{run1d, run2d, run3d};
+
+    /// DRStencil's temporal blocking freezes the tile boundary within a
+    /// fused round, so only the deep interior matches plain stepping —
+    /// compare there.
+    fn check_core_2d(got: &Grid2D, want: &Grid2D, margin: usize) {
+        for x in margin..got.rows() - margin {
+            for y in margin..got.cols() - margin {
+                let (a, b) = (got.get(x, y), want.get(x, y));
+                assert!(
+                    (a - b).abs() / a.abs().max(1.0) < 1e-10,
+                    "({x},{y}): {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn t1_matches_reference_exactly() {
+        let k = Kernel2D::box_uniform(1);
+        let g = make_grid2d(48, 48, 1, 2);
+        let mut dev = Device::a100();
+        let got = DrStencil::run_2d(&mut dev, &g, &k, 3, 1);
+        let want = run2d(&g, &k, 3);
+        stencil_core::assert_close_default(&got.interior(), &want.interior());
+    }
+
+    #[test]
+    fn t3_matches_reference_in_tile_interiors() {
+        // With T3, each 32x32 tile freezes its own ring of width 3·r per
+        // round; points at distance > 3 inside a tile whose neighbours are
+        // also interior match. Compare the global deep interior of a
+        // single-tile problem for an exact check.
+        let k = Kernel2D::star(0.5, &[0.125]);
+        let g = make_grid2d(32, 32, 3, 8);
+        let mut dev = Device::a100();
+        let got = DrStencil::run_2d(&mut dev, &g, &k, 3, 3);
+        let want = run2d(&g, &k, 3);
+        check_core_2d(&got, &want, 3);
+    }
+
+    #[test]
+    fn t1_1d_and_3d_match_reference() {
+        let k1 = Kernel1D::new(vec![0.25, 0.5, 0.25]);
+        let g1 = make_grid1d(3000, 1, 3);
+        let mut dev = Device::a100();
+        let got1 = DrStencil::run_1d(&mut dev, &g1, &k1, 2, 1);
+        stencil_core::assert_close_default(&got1.interior(), &run1d(&g1, &k1, 2).interior());
+
+        let k3 = Kernel3D::star(0.4, &[0.1]);
+        let g3 = make_grid3d(6, 10, 34, 1, 4);
+        let mut dev = Device::a100();
+        let got3 = DrStencil::run_3d(&mut dev, &g3, &k3, 2, 1);
+        stencil_core::assert_close_default(&got3.interior(), &run3d(&g3, &k3, 2).interior());
+    }
+
+    #[test]
+    fn t3_amortizes_global_traffic() {
+        let k = Kernel2D::star(0.5, &[0.125]);
+        let g = make_grid2d(128, 128, 3, 1);
+        let traffic = |t: usize| {
+            let mut dev = Device::a100();
+            DrStencil::run_2d(&mut dev, &g, &k, 3, t);
+            dev.counters.global_read_bytes + dev.counters.global_write_bytes
+        };
+        let t1 = traffic(1);
+        let t3 = traffic(3);
+        assert!(
+            (t3 as f64) < 0.6 * t1 as f64,
+            "T3 traffic {t3} vs T1 {t1}"
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! # convstencil-baselines — the systems ConvStencil is compared against
+//!
+//! Algorithmic analogs of the paper's §5 comparison systems, all running
+//! on the same `tcu-sim` substrate so relative standings emerge from
+//! measured event counts (DESIGN.md §1):
+//!
+//! * [`naive`] — thread-per-point global-memory stencil (correctness
+//!   anchor, not in the paper's figures).
+//! * [`cudnn`] — cuDNN `FWD_IMPLICIT_PRECOMP_GEMM`, channel = 1: dense
+//!   convolution on CUDA cores with a padded GEMM channel tile.
+//! * [`amos`] — AMOS depth-wise-conv mapping: explicit im2row in global
+//!   memory + Tensor-Core matrix-vector product.
+//! * [`tcstencil`] — TCStencil (ICS'22): FP16 16x16 MMAs over grid tiles,
+//!   with the paper's ÷4 FP64 adjustment.
+//! * [`brick`] — Brick: fine-grained blocked stencil on CUDA cores with
+//!   shared-memory reuse.
+//! * [`drstencil`] — DRStencil: fusion-partition temporal blocking
+//!   (T time steps per global round trip) with partial-sum data reuse.
+//!
+//! The [`common::StencilSystem`] trait gives the benchmark harness a
+//! uniform interface over every system including ConvStencil itself
+//! ([`convstencil_system::ConvStencilSystem`]).
+
+// Simulated warp code addresses lanes by index across several parallel
+// arrays (addrs/vals/sums); iterator zips would obscure the lane model.
+#![allow(clippy::needless_range_loop)]
+
+pub mod amos;
+pub mod brick;
+pub mod common;
+pub mod convstencil_system;
+pub mod cudnn;
+pub mod drstencil;
+pub mod naive;
+pub mod tcstencil;
+
+pub use amos::Amos;
+pub use brick::Brick;
+pub use common::{ProblemSize, StencilSystem, SystemResult};
+pub use convstencil_system::ConvStencilSystem;
+pub use cudnn::CudnnGemm;
+pub use drstencil::DrStencil;
+pub use naive::NaiveGpu;
+pub use tcstencil::TcStencil;
+
+/// The paper's Fig. 7 system lineup, in legend order, plus ConvStencil.
+pub fn figure7_systems() -> Vec<Box<dyn StencilSystem>> {
+    vec![
+        Box::new(Amos),
+        Box::new(CudnnGemm),
+        Box::new(Brick),
+        Box::new(DrStencil::new(1)),
+        Box::new(TcStencil),
+        Box::new(ConvStencilSystem),
+    ]
+}

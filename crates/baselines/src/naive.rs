@@ -1,0 +1,296 @@
+//! Naive GPU stencil: one thread per output point, every neighbor read
+//! straight from global memory, no staging and no reuse. Not one of the
+//! paper's comparison systems — it is the correctness anchor the analogs
+//! are smoke-tested against, and a floor for the performance plots.
+
+use crate::common::{make_grid1d, make_grid2d, make_grid3d, report_from_device, ProblemSize, StencilSystem, SystemResult};
+use stencil_core::{AnyKernel, Grid1D, Grid2D, Grid3D, Kernel1D, Kernel2D, Kernel3D, Shape};
+use tcu_sim::{BufferId, Device, INACTIVE};
+
+/// The naive runner.
+#[derive(Debug, Clone, Default)]
+pub struct NaiveGpu;
+
+impl NaiveGpu {
+    pub fn run_1d(dev: &mut Device, grid: &Grid1D, k: &Kernel1D, steps: usize) -> Grid1D {
+        let plen = grid.padded_len();
+        let halo = grid.halo();
+        let n = grid.len();
+        let a = dev.alloc_from(grid.padded());
+        let b = dev.alloc_from(grid.padded());
+        let (mut cur, mut next) = (a, b);
+        let block = 1024usize;
+        let blocks = n.div_ceil(block);
+        let taps: Vec<(isize, f64)> = (-(k.radius() as isize)..=k.radius() as isize)
+            .map(|d| (d, k.weight(d)))
+            .filter(|&(_, w)| w != 0.0)
+            .collect();
+        for _ in 0..steps {
+            let (src, dst) = (cur, next);
+            dev.launch(blocks, 64, |bid, ctx| {
+                let i0 = bid * block;
+                let i1 = (i0 + block).min(n);
+                let mut addrs = [INACTIVE; 32];
+                let mut vals = [0.0f64; 32];
+                let mut sums = [0.0f64; 32];
+                let mut i = i0;
+                while i < i1 {
+                    let lanes = 32.min(i1 - i);
+                    sums[..lanes].fill(0.0);
+                    for &(d, w) in &taps {
+                        for l in 0..lanes {
+                            addrs[l] = ((i + l + halo) as isize + d) as usize;
+                        }
+                        ctx.gmem_read_warp(src, &addrs[..lanes], &mut vals[..lanes]);
+                        ctx.count_fma(lanes as u64);
+                        for l in 0..lanes {
+                            sums[l] += w * vals[l];
+                        }
+                    }
+                    ctx.gmem_write_span(dst, i + halo, &sums[..lanes]);
+                    i += lanes;
+                }
+            });
+            std::mem::swap(&mut cur, &mut next);
+        }
+        let mut out = grid.clone();
+        out.padded_mut().copy_from_slice(&dev.download(cur)[..plen]);
+        out
+    }
+
+    pub fn run_2d(dev: &mut Device, grid: &Grid2D, k: &Kernel2D, steps: usize) -> Grid2D {
+        let (m, n, halo) = (grid.rows(), grid.cols(), grid.halo());
+        let pcols = grid.padded_cols();
+        let a = dev.alloc_from(grid.padded());
+        let b = dev.alloc_from(grid.padded());
+        let (mut cur, mut next) = (a, b);
+        let (bm, bn) = (8usize, 32usize);
+        let blocks_x = m.div_ceil(bm);
+        let blocks_y = n.div_ceil(bn);
+        let taps = taps_2d(k);
+        for _ in 0..steps {
+            let (src, dst) = (cur, next);
+            dev.launch(blocks_x * blocks_y, 64, |bid, ctx| {
+                let bx = bid / blocks_y;
+                let by = bid % blocks_y;
+                let x1 = ((bx + 1) * bm).min(m);
+                let y1 = ((by + 1) * bn).min(n);
+                let mut addrs = [INACTIVE; 32];
+                let mut vals = [0.0f64; 32];
+                let mut sums = [0.0f64; 32];
+                for x in bx * bm..x1 {
+                    let mut y = by * bn;
+                    while y < y1 {
+                        let lanes = 32.min(y1 - y);
+                        sums[..lanes].fill(0.0);
+                        for &(dx, dy, w) in &taps {
+                            let row = ((x + halo) as isize + dx) as usize;
+                            for l in 0..lanes {
+                                addrs[l] = row * pcols + ((y + l + halo) as isize + dy) as usize;
+                            }
+                            ctx.gmem_read_warp(src, &addrs[..lanes], &mut vals[..lanes]);
+                            ctx.count_fma(lanes as u64);
+                            for l in 0..lanes {
+                                sums[l] += w * vals[l];
+                            }
+                        }
+                        ctx.gmem_write_span(dst, (x + halo) * pcols + y + halo, &sums[..lanes]);
+                        y += lanes;
+                    }
+                }
+            });
+            std::mem::swap(&mut cur, &mut next);
+        }
+        let mut out = grid.clone();
+        let data = dev.download(cur).to_vec();
+        out.padded_mut().copy_from_slice(&data);
+        out
+    }
+
+    pub fn run_3d(dev: &mut Device, grid: &Grid3D, k: &Kernel3D, steps: usize) -> Grid3D {
+        let (d, m, n, halo) = (grid.depth(), grid.rows(), grid.cols(), grid.halo());
+        let pcols = grid.padded_cols();
+        let plane = grid.padded_rows() * pcols;
+        let a = dev.alloc_from(grid.padded());
+        let b = dev.alloc_from(grid.padded());
+        let (mut cur, mut next) = (a, b);
+        let (bm, bn) = (8usize, 32usize);
+        let blocks_x = m.div_ceil(bm);
+        let blocks_y = n.div_ceil(bn);
+        let taps = taps_3d(k);
+        for _ in 0..steps {
+            let (src, dst) = (cur, next);
+            dev.launch(d * blocks_x * blocks_y, 64, |bid, ctx| {
+                let z = bid / (blocks_x * blocks_y);
+                let rem = bid % (blocks_x * blocks_y);
+                let bx = rem / blocks_y;
+                let by = rem % blocks_y;
+                let x1 = ((bx + 1) * bm).min(m);
+                let y1 = ((by + 1) * bn).min(n);
+                let mut addrs = [INACTIVE; 32];
+                let mut vals = [0.0f64; 32];
+                let mut sums = [0.0f64; 32];
+                for x in bx * bm..x1 {
+                    let mut y = by * bn;
+                    while y < y1 {
+                        let lanes = 32.min(y1 - y);
+                        sums[..lanes].fill(0.0);
+                        for &(dz, dx, dy, w) in &taps {
+                            let pz = ((z + halo) as isize + dz) as usize;
+                            let px = ((x + halo) as isize + dx) as usize;
+                            for l in 0..lanes {
+                                addrs[l] =
+                                    pz * plane + px * pcols + ((y + l + halo) as isize + dy) as usize;
+                            }
+                            ctx.gmem_read_warp(src, &addrs[..lanes], &mut vals[..lanes]);
+                            ctx.count_fma(lanes as u64);
+                            for l in 0..lanes {
+                                sums[l] += w * vals[l];
+                            }
+                        }
+                        let dst_base = (z + halo) * plane + (x + halo) * pcols + y + halo;
+                        ctx.gmem_write_span(dst, dst_base, &sums[..lanes]);
+                        y += lanes;
+                    }
+                }
+            });
+            std::mem::swap(&mut cur, &mut next);
+        }
+        let mut out = grid.clone();
+        let data = dev.download(cur).to_vec();
+        out.padded_mut().copy_from_slice(&data);
+        out
+    }
+}
+
+pub(crate) fn taps_2d(k: &Kernel2D) -> Vec<(isize, isize, f64)> {
+    let r = k.radius() as isize;
+    let mut taps = Vec::new();
+    for dx in -r..=r {
+        for dy in -r..=r {
+            let w = k.weight(dx, dy);
+            if w != 0.0 {
+                taps.push((dx, dy, w));
+            }
+        }
+    }
+    taps
+}
+
+pub(crate) fn taps_3d(k: &Kernel3D) -> Vec<(isize, isize, isize, f64)> {
+    let r = k.radius() as isize;
+    let mut taps = Vec::new();
+    for dz in -r..=r {
+        for dx in -r..=r {
+            for dy in -r..=r {
+                let w = k.weight(dz, dx, dy);
+                if w != 0.0 {
+                    taps.push((dz, dx, dy, w));
+                }
+            }
+        }
+    }
+    taps
+}
+
+/// Allocate-and-ignore helper so clippy sees the buffers used.
+#[allow(dead_code)]
+fn _unused(_: BufferId) {}
+
+impl StencilSystem for NaiveGpu {
+    fn name(&self) -> &'static str {
+        "Naive"
+    }
+
+    fn supports(&self, _shape: Shape) -> bool {
+        true
+    }
+
+    fn run(&self, shape: Shape, size: ProblemSize, steps: usize, seed: u64) -> Option<SystemResult> {
+        let mut dev = Device::a100();
+        let result = match (shape.kernel(), size) {
+            (AnyKernel::D1(k), ProblemSize::D1(n)) => {
+                let g = make_grid1d(n, k.radius(), seed);
+                let out = Self::run_1d(&mut dev, &g, &k, steps);
+                out.interior()
+            }
+            (AnyKernel::D2(k), ProblemSize::D2(m, n)) => {
+                let g = make_grid2d(m, n, k.radius(), seed);
+                let out = Self::run_2d(&mut dev, &g, &k, steps);
+                out.interior()
+            }
+            (AnyKernel::D3(k), ProblemSize::D3(d, m, n)) => {
+                let g = make_grid3d(d, m, n, k.radius(), seed);
+                let out = Self::run_3d(&mut dev, &g, &k, steps);
+                out.interior()
+            }
+            _ => return None,
+        };
+        let report = report_from_device(&dev, size.points(), steps as u64);
+        Some(SystemResult {
+            output: result,
+            report,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_core::reference::{run1d, run2d, run3d};
+    use stencil_core::assert_close_default;
+
+    #[test]
+    fn naive_1d_matches_reference() {
+        let k = Kernel1D::new(vec![0.25, 0.5, 0.25]);
+        let g = make_grid1d(500, 1, 3);
+        let mut dev = Device::a100();
+        let got = NaiveGpu::run_1d(&mut dev, &g, &k, 3);
+        let want = run1d(&g, &k, 3);
+        assert_close_default(&got.interior(), &want.interior());
+    }
+
+    #[test]
+    fn naive_2d_matches_reference() {
+        let k = Kernel2D::box_uniform(2);
+        let g = make_grid2d(30, 50, 2, 9);
+        let mut dev = Device::a100();
+        let got = NaiveGpu::run_2d(&mut dev, &g, &k, 2);
+        let want = run2d(&g, &k, 2);
+        assert_close_default(&got.interior(), &want.interior());
+    }
+
+    #[test]
+    fn naive_3d_matches_reference() {
+        let k = Kernel3D::star(0.4, &[0.1]);
+        let g = make_grid3d(6, 10, 20, 1, 4);
+        let mut dev = Device::a100();
+        let got = NaiveGpu::run_3d(&mut dev, &g, &k, 2);
+        let want = run3d(&g, &k, 2);
+        assert_close_default(&got.interior(), &want.interior());
+    }
+
+    #[test]
+    fn naive_reads_k_times_per_point() {
+        let k = Kernel2D::box_uniform(1); // 9 points
+        let g = make_grid2d(32, 32, 1, 1);
+        let mut dev = Device::a100();
+        NaiveGpu::run_2d(&mut dev, &g, &k, 1);
+        let per_point = dev.counters.global_read_bytes as f64 / (32.0 * 32.0);
+        assert!((per_point - 9.0 * 8.0).abs() < 1.0, "bytes/pt = {per_point}");
+    }
+
+    #[test]
+    fn system_trait_runs_all_shapes() {
+        for &shape in Shape::benchmarks() {
+            let size = match shape.dim() {
+                1 => ProblemSize::D1(512),
+                2 => ProblemSize::D2(24, 40),
+                _ => ProblemSize::D3(6, 8, 16),
+            };
+            let r = NaiveGpu.run(shape, size, 1, 7).unwrap();
+            assert_eq!(r.output.len() as u64, size.points());
+            assert!(r.report.gstencils_per_sec > 0.0, "{shape}");
+        }
+    }
+}

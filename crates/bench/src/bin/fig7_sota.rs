@@ -1,0 +1,95 @@
+//! Regenerates paper Fig. 7: GStencils/s of AMOS, cuDNN, Brick, DRStencil,
+//! TCStencil and ConvStencil across the eight Table 4 benchmarks, plus the
+//! speedup of ConvStencil over the best baseline per benchmark.
+//!
+//! Each system is simulated at a reduced size (Table 4 column "Measured
+//! at" of `table4_config`) and projected to the paper's problem size.
+//! Outputs are cross-checked against the naive reference in the deep
+//! interior before any number is reported.
+
+use convstencil_baselines::{figure7_systems, NaiveGpu, ProblemSize, StencilSystem};
+use convstencil_bench::report::{banner, fmt_opt, render_table};
+use convstencil_bench::{project_report, quick_mode, table4};
+use tcu_sim::DeviceConfig;
+
+/// Deep-interior correctness check of a system's output vs the naive
+/// reference (fused systems approximate a boundary ring; see DESIGN.md).
+fn verify(shape: stencil_core::Shape, size: ProblemSize, steps: usize, out: &[f64], reference: &[f64]) {
+    // 1D/2D systems may fuse up to 3 steps (ring 3r per step); 3D never
+    // fuses, so the approximation ring is just steps*r.
+    let fusion = if shape.dim() == 3 { 1 } else { 3 };
+    let margin = steps * shape.radius() * fusion + 1;
+    let check = |a: f64, b: f64, loc: String| {
+        let err = (a - b).abs() / a.abs().max(b.abs()).max(1.0);
+        assert!(err < 1e-9, "{shape} {loc}: {a} vs {b}");
+    };
+    match size {
+        ProblemSize::D1(n) => {
+            for i in margin..n - margin {
+                check(out[i], reference[i], format!("[{i}]"));
+            }
+        }
+        ProblemSize::D2(m, n) => {
+            for x in (margin..m - margin).step_by(7) {
+                for y in (margin..n - margin).step_by(3) {
+                    check(out[x * n + y], reference[x * n + y], format!("({x},{y})"));
+                }
+            }
+        }
+        ProblemSize::D3(d, m, n) => {
+            for z in margin..d.saturating_sub(margin) {
+                for x in (margin..m - margin).step_by(5) {
+                    for y in (margin..n - margin).step_by(3) {
+                        let i = (z * m + x) * n + y;
+                        check(out[i], reference[i], format!("({z},{x},{y})"));
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn main() {
+    let cfg = DeviceConfig::a100();
+    let quick = quick_mode();
+    let systems = figure7_systems();
+    print!("{}", banner("Figure 7: Performance comparison between state-of-the-arts and ConvStencil"));
+    println!("(GStencils/s, projected to the paper's Table 4 problem sizes)\n");
+    let mut header: Vec<String> = vec!["Kernel".into()];
+    header.extend(systems.iter().map(|s| s.name().to_string()));
+    header.push("Speedup vs best".into());
+    let mut rows = vec![header];
+    let mut speedups: Vec<f64> = Vec::new();
+    for w in table4() {
+        let w = if quick { w.quick() } else { w };
+        let reference = NaiveGpu
+            .run(w.shape, w.measure_size, w.measure_steps, 42)
+            .unwrap();
+        let mut cells: Vec<Option<f64>> = Vec::new();
+        for sys in &systems {
+            let result = sys.run(w.shape, w.measure_size, w.measure_steps, 42);
+            let proj = result.map(|r| {
+                verify(w.shape, w.measure_size, w.measure_steps, &r.output, &reference.output);
+                project_report(&r.report, &cfg, w.paper_size.points(), w.paper_iters).gstencils_per_sec
+            });
+            cells.push(proj);
+        }
+        let conv = cells.last().unwrap().expect("ConvStencil always runs");
+        let best_baseline = cells[..cells.len() - 1]
+            .iter()
+            .flatten()
+            .cloned()
+            .fold(0.0f64, f64::max);
+        let speedup = conv / best_baseline;
+        speedups.push(speedup);
+        let mut row = vec![w.shape.name().to_string()];
+        row.extend(cells.iter().map(|c| fmt_opt(*c, 1)));
+        row.push(format!("{speedup:.2}x"));
+        rows.push(row);
+    }
+    print!("{}", render_table(&rows));
+    convstencil_bench::maybe_write_csv("fig7_sota", &rows);
+    let geo = speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64;
+    println!("\nGeo-mean speedup of ConvStencil over the best competing system: {:.2}x", geo.exp());
+    println!("Paper claims: 2.89x-42.62x vs cuDNN, 2.77x avg vs Brick, 2.02x avg vs DRStencil.");
+}

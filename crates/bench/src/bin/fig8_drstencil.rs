@@ -1,0 +1,102 @@
+//! Regenerates paper Fig. 8: ConvStencil vs DRStencil with 3-time-step
+//! fusion (DRStencil-T3) across problem sizes, for Heat-2D, Box-2D9P,
+//! Heat-3D and Box-3D27P.
+//!
+//! 2D panels simulate every sweep size directly (256..5120 step 256); 3D
+//! panels simulate a depth-capped slab at the sweep's spatial size (block
+//! geometry is exact in the capped dimension) and project the depth —
+//! which is exactly linear because each block covers one z-plane.
+
+use convstencil_baselines::{ConvStencilSystem, DrStencil, ProblemSize, StencilSystem};
+use convstencil_bench::report::{banner, render_table};
+use convstencil_bench::{fig8_sizes_2d, fig8_sizes_3d, project_report, quick_mode};
+use stencil_core::Shape;
+use tcu_sim::DeviceConfig;
+
+fn main() {
+    let cfg = DeviceConfig::a100();
+    let quick = quick_mode();
+    let conv = ConvStencilSystem;
+    let drs = DrStencil::new(3);
+    let steps = 3; // one T3 round / one fused application
+
+    for shape in [Shape::Heat2D, Shape::Box2D9P] {
+        print!("{}", banner(&format!("Figure 8: {} (problem size x^2)", shape.name())));
+        let mut rows = vec![vec![
+            "Size".to_string(),
+            "ConvStencil GS/s".to_string(),
+            "DRStencil-T3 GS/s".to_string(),
+            "Speedup".to_string(),
+        ]];
+        let sizes: Vec<usize> = if quick {
+            fig8_sizes_2d().into_iter().step_by(4).collect()
+        } else {
+            fig8_sizes_2d()
+        };
+        let mut crossover: Option<usize> = None;
+        for s in sizes {
+            let size = ProblemSize::D2(s, s);
+            let a = conv.run(shape, size, steps, 11).unwrap().report;
+            let b = drs.run(shape, size, steps, 11).unwrap().report;
+            let ga = project_report(&a, &cfg, size.points(), steps as u64).gstencils_per_sec;
+            let gb = project_report(&b, &cfg, size.points(), steps as u64).gstencils_per_sec;
+            if crossover.is_none() && ga > gb {
+                crossover = Some(s);
+            }
+            rows.push(vec![
+                s.to_string(),
+                format!("{ga:.1}"),
+                format!("{gb:.1}"),
+                format!("{:+.0}%", 100.0 * (ga / gb - 1.0)),
+            ]);
+        }
+        print!("{}", render_table(&rows));
+        convstencil_bench::maybe_write_csv(&format!("fig8_{}", shape.cli_name()), &rows);
+        match crossover {
+            Some(s) => println!("ConvStencil overtakes DRStencil-T3 from size {s}^2 (paper: 768^2 for Heat-2D, 512^2 for Box-2D9P)."),
+            None => println!("No crossover in the sweep."),
+        }
+    }
+
+    for shape in [Shape::Heat3D, Shape::Box3D27P] {
+        print!("{}", banner(&format!("Figure 8: {} (problem size x^3)", shape.name())));
+        let mut rows = vec![vec![
+            "Size".to_string(),
+            "ConvStencil GS/s".to_string(),
+            "DRStencil-T3 GS/s".to_string(),
+            "Speedup".to_string(),
+        ]];
+        let sizes: Vec<usize> = if quick {
+            fig8_sizes_3d().into_iter().step_by(8).collect()
+        } else {
+            fig8_sizes_3d().into_iter().step_by(2).collect()
+        };
+        let mut crossover: Option<usize> = None;
+        for s in sizes {
+            // Depth-capped measurement (see module docs).
+            let d_meas = s.min(16);
+            let meas = ProblemSize::D3(d_meas, s, s);
+            let target = ProblemSize::D3(s, s, s);
+            let a = conv.run(shape, meas, steps, 11).unwrap().report;
+            let b = drs.run(shape, meas, steps, 11).unwrap().report;
+            let ga = project_report(&a, &cfg, target.points(), steps as u64).gstencils_per_sec;
+            let gb = project_report(&b, &cfg, target.points(), steps as u64).gstencils_per_sec;
+            if crossover.is_none() && ga > gb {
+                crossover = Some(s);
+            }
+            rows.push(vec![
+                s.to_string(),
+                format!("{ga:.1}"),
+                format!("{gb:.1}"),
+                format!("{:+.0}%", 100.0 * (ga / gb - 1.0)),
+            ]);
+        }
+        print!("{}", render_table(&rows));
+        convstencil_bench::maybe_write_csv(&format!("fig8_{}", shape.cli_name()), &rows);
+        match crossover {
+            Some(s) => println!("ConvStencil overtakes DRStencil-T3 from size {s}^3 (paper: 288^3 for Heat-3D, 128^3 for Box-3D27P)."),
+            None => println!("No crossover in the sweep."),
+        }
+    }
+    println!("\nPaper plateau speedups: Heat-2D 1.42x, Box-2D9P 2.13x, Heat-3D 1.63x, Box-3D27P 5.22x.");
+}

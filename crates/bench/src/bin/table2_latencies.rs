@@ -1,0 +1,25 @@
+//! Regenerates paper Table 2: memory access latencies of the simulated
+//! device (constants of the calibrated A100 model).
+
+use convstencil_bench::report::{banner, render_table};
+use tcu_sim::{DeviceConfig, LatencyTable};
+
+fn main() {
+    let cfg = DeviceConfig::a100();
+    let t = LatencyTable::from(&cfg);
+    print!("{}", banner("Table 2: Memory access latencies"));
+    let rows = vec![
+        vec!["Memory access types".to_string(), "Cycles (measured)".to_string(), "Cycles (paper)".to_string()],
+        vec!["Global memory".into(), t.global_cycles.to_string(), "290".into()],
+        vec!["Shared memory (load)".into(), t.shared_load_cycles.to_string(), "23".into()],
+        vec!["Shared memory (store)".into(), t.shared_store_cycles.to_string(), "19".into()],
+    ];
+    print!("{}", render_table(&rows));
+    println!("\nDevice: {}", cfg.name);
+    println!(
+        "Peak FP64 tensor: {:.1} TFLOPS | peak FP64 CUDA: {:.1} TFLOPS | HBM: {:.0} GB/s",
+        cfg.peak_fp64_tensor_flops() / 1e12,
+        cfg.peak_fp64_cuda_flops() / 1e12,
+        cfg.global_bw_bytes / 1e9
+    );
+}

@@ -1,0 +1,26 @@
+//! Regenerates paper Table 4: the benchmark configuration, plus this
+//! harness's measurement sizes.
+
+use convstencil_bench::report::{banner, render_table};
+use convstencil_bench::table4;
+
+fn main() {
+    print!("{}", banner("Table 4: Configuration of benchmarks"));
+    let mut rows = vec![vec![
+        "Kernels".to_string(),
+        "Points".to_string(),
+        "Problem size".to_string(),
+        "Block size".to_string(),
+        "Measured at".to_string(),
+    ]];
+    for w in table4() {
+        rows.push(vec![
+            w.shape.name().to_string(),
+            w.shape.points().to_string(),
+            format!("{} x {}", w.paper_size, w.paper_iters),
+            w.block_size.to_string(),
+            format!("{} x {} steps", w.measure_size, w.measure_steps),
+        ]);
+    }
+    print!("{}", render_table(&rows));
+}

@@ -1,0 +1,49 @@
+//! Regenerates paper Table 5: uncoalesced global accesses (UGA) and bank
+//! conflicts per request (BC/R) for TCStencil vs ConvStencil on Heat-2D
+//! and Box-2D9P, measured from the simulator's memory-system ledger.
+
+use convstencil_baselines::{ConvStencilSystem, ProblemSize, StencilSystem, TcStencil};
+use convstencil_bench::quick_mode;
+use convstencil_bench::report::{banner, render_table};
+use stencil_core::Shape;
+
+fn main() {
+    let n = if quick_mode() { 256 } else { 1024 };
+    let steps = 3;
+    print!("{}", banner("Table 5: Conflicts comparison to TCStencil"));
+    let mut rows = vec![vec![
+        "Kernels".to_string(),
+        "System".to_string(),
+        "UGA".to_string(),
+        "BC/R".to_string(),
+        "UGA (paper)".to_string(),
+        "BC/R (paper)".to_string(),
+    ]];
+    let paper: &[(&str, &str, &str, &str, &str)] = &[
+        ("Heat-2D", "TCStencil", "49.40%", "0.91", ""),
+        ("Heat-2D", "ConvStencil", "3.42%", "0.39", ""),
+        ("Box-2D9P", "TCStencil", "45.35%", "1.29", ""),
+        ("Box-2D9P", "ConvStencil", "3.42%", "0.39", ""),
+    ];
+    let mut i = 0;
+    for shape in [Shape::Heat2D, Shape::Box2D9P] {
+        for sys in [&TcStencil as &dyn StencilSystem, &ConvStencilSystem] {
+            let r = sys
+                .run(shape, ProblemSize::D2(n, n), steps, 42)
+                .expect("both systems support 2D");
+            let c = &r.report.counters;
+            rows.push(vec![
+                shape.name().to_string(),
+                sys.name().to_string(),
+                format!("{:.2}%", c.uncoalesced_global_access_pct()),
+                format!("{:.2}", c.bank_conflicts_per_request()),
+                paper[i].2.to_string(),
+                paper[i].3.to_string(),
+            ]);
+            i += 1;
+        }
+    }
+    print!("{}", render_table(&rows));
+    convstencil_bench::maybe_write_csv("table5_conflicts", &rows);
+    println!("\nShape check: ConvStencil must show far fewer uncoalesced accesses and conflicts than TCStencil.");
+}

@@ -1,0 +1,76 @@
+//! CSV artifact export: every regenerator binary can persist its
+//! rows/series under `results/` so figures can be re-plotted without
+//! re-running the simulations.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Where CSV artifacts go (created on demand).
+pub const RESULTS_DIR: &str = "results";
+
+/// Whether `--csv` was passed on the command line.
+pub fn csv_mode() -> bool {
+    std::env::args().any(|a| a == "--csv")
+}
+
+/// Escape one CSV cell (quotes fields containing separators/quotes).
+fn escape(cell: &str) -> String {
+    if cell.contains([',', '"', '\n']) {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+/// Write rows (header first) to `results/<name>.csv`. Returns the path.
+pub fn write_csv(name: &str, rows: &[Vec<String>]) -> std::io::Result<PathBuf> {
+    let dir = Path::new(RESULTS_DIR);
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    let mut f = std::fs::File::create(&path)?;
+    for row in rows {
+        let line: Vec<String> = row.iter().map(|c| escape(c)).collect();
+        writeln!(f, "{}", line.join(","))?;
+    }
+    Ok(path)
+}
+
+/// Write rows if `--csv` was requested; print where they went.
+pub fn maybe_write_csv(name: &str, rows: &[Vec<String>]) {
+    if !csv_mode() {
+        return;
+    }
+    match write_csv(name, rows) {
+        Ok(path) => println!("[csv] wrote {}", path.display()),
+        Err(e) => eprintln!("[csv] failed to write {name}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a,b"), "\"a,b\"");
+        assert_eq!(escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn writes_file_roundtrip() {
+        let dir = std::env::temp_dir().join("convstencil_csv_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let old = std::env::current_dir().unwrap();
+        std::env::set_current_dir(&dir).unwrap();
+        let rows = vec![
+            vec!["a".to_string(), "b".to_string()],
+            vec!["1".to_string(), "x,y".to_string()],
+        ];
+        let path = write_csv("unit_test", &rows).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        std::env::set_current_dir(old).unwrap();
+        assert_eq!(content, "a,b\n1,\"x,y\"\n");
+    }
+}

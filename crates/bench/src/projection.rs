@@ -1,0 +1,96 @@
+//! Projection of measured event rates to the paper's problem sizes.
+//!
+//! The simulator's per-point event rates converge after a handful of
+//! steps, so a run at reduced scale determines the counters of a run at
+//! paper scale up to linear scaling; launch geometry scales with spatial
+//! points (blocks per launch) and with steps (number of launches). The
+//! cost model is then evaluated at the target geometry, which is what
+//! captures the occupancy/launch-overhead effects that separate small
+//! problems from large ones (Fig. 8's crossovers).
+
+use convstencil::RunReport;
+use tcu_sim::{CostBreakdown, CostModel, DeviceConfig, LaunchStats};
+
+/// A projected performance figure.
+#[derive(Debug, Clone)]
+pub struct Projection {
+    pub gstencils_per_sec: f64,
+    pub cost: CostBreakdown,
+    pub target_points: u64,
+    pub target_steps: u64,
+}
+
+/// Project a measured report to `target_points` spatial points over
+/// `target_steps` time steps.
+pub fn project_report(
+    report: &RunReport,
+    cfg: &DeviceConfig,
+    target_points: u64,
+    target_steps: u64,
+) -> Projection {
+    assert!(report.points > 0 && report.steps > 0, "empty measurement");
+    let point_scale = target_points as f64 / report.points as f64;
+    let step_scale = target_steps as f64 / report.steps as f64;
+    let counters = report.counters.scaled(point_scale * step_scale);
+    let launches = ((report.launch_stats.kernel_launches as f64 * step_scale).round() as u64).max(1);
+    let blocks = ((report.launch_stats.total_blocks as f64 * point_scale * step_scale).round()
+        as u64)
+        .max(launches);
+    let stats = LaunchStats {
+        kernel_launches: launches,
+        total_blocks: blocks,
+    };
+    let model = CostModel::new(cfg.clone());
+    let gstencils = model.gstencils_per_sec(&counters, &stats, target_points, target_steps)
+        * report.throughput_scale;
+    Projection {
+        gstencils_per_sec: gstencils,
+        cost: model.evaluate(&counters, &stats),
+        target_points,
+        target_steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use convstencil_baselines::{ConvStencilSystem, ProblemSize, StencilSystem};
+    use stencil_core::Shape;
+
+    #[test]
+    fn projection_to_same_size_is_identity() {
+        let r = ConvStencilSystem
+            .run(Shape::Heat2D, ProblemSize::D2(256, 256), 3, 1)
+            .unwrap();
+        let cfg = DeviceConfig::a100();
+        let p = project_report(&r.report, &cfg, 256 * 256, 3);
+        let rel = (p.gstencils_per_sec - r.report.gstencils_per_sec).abs()
+            / r.report.gstencils_per_sec;
+        assert!(rel < 1e-6, "rel err {rel}");
+    }
+
+    #[test]
+    fn projection_to_paper_size_improves_throughput() {
+        // Larger problems fill the machine and amortize launches.
+        let r = ConvStencilSystem
+            .run(Shape::Heat2D, ProblemSize::D2(512, 512), 3, 1)
+            .unwrap();
+        let cfg = DeviceConfig::a100();
+        let p = project_report(&r.report, &cfg, 10_240 * 10_240, 10_240);
+        assert!(p.gstencils_per_sec > r.report.gstencils_per_sec);
+        assert!(p.cost.parallel_efficiency > 0.95);
+    }
+
+    #[test]
+    fn projection_scales_counters_linearly() {
+        let r = ConvStencilSystem
+            .run(Shape::Box2D49P, ProblemSize::D2(256, 256), 2, 1)
+            .unwrap();
+        let cfg = DeviceConfig::a100();
+        let p = project_report(&r.report, &cfg, 4 * 256 * 256, 2);
+        // 4x points at the same per-point compute: total ~4x, modulated
+        // only by occupancy/launch terms.
+        let ratio = p.cost.t_compute / r.report.cost.t_compute;
+        assert!((ratio - 4.0).abs() < 0.05, "ratio = {ratio}");
+    }
+}

@@ -1,0 +1,79 @@
+//! Plain-text table formatting for the figure/table regenerator binaries.
+
+/// Render an aligned text table. `rows` include the header as row 0.
+pub fn render_table(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(|r| r.len()).max().unwrap();
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    for (ri, row) in rows.iter().enumerate() {
+        for (i, cell) in row.iter().enumerate() {
+            let pad = widths[i] - cell.chars().count();
+            out.push_str(cell);
+            if i + 1 < row.len() {
+                out.push_str(&" ".repeat(pad + 2));
+            }
+        }
+        out.push('\n');
+        if ri == 0 {
+            let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+            out.push_str(&"-".repeat(total));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// `"n/a"` or a fixed-precision number.
+pub fn fmt_opt(v: Option<f64>, prec: usize) -> String {
+    match v {
+        Some(x) => format!("{x:.prec$}"),
+        None => "n/a".to_string(),
+    }
+}
+
+/// Format a percentage delta ("+23%").
+pub fn fmt_delta_pct(new: f64, old: f64) -> String {
+    format!("{:+.0}%", 100.0 * (new - old) / old)
+}
+
+/// Banner for a regenerated artifact.
+pub fn banner(title: &str) -> String {
+    format!("\n=== {title} ===\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(&[
+            vec!["name".into(), "value".into()],
+            vec!["x".into(), "1.5".into()],
+            vec!["longer".into(), "2".into()],
+        ]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("----"));
+        // Column starts align.
+        let col = lines[0].find("value").unwrap();
+        assert_eq!(lines[2].find("1.5").unwrap(), col);
+    }
+
+    #[test]
+    fn fmt_helpers() {
+        assert_eq!(fmt_opt(Some(1.234), 2), "1.23");
+        assert_eq!(fmt_opt(None, 2), "n/a");
+        assert_eq!(fmt_delta_pct(120.0, 100.0), "+20%");
+        assert_eq!(banner("X"), "\n=== X ===\n");
+    }
+}

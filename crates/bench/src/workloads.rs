@@ -1,0 +1,139 @@
+//! The paper's benchmark workloads (Table 4) plus the simulation sizes the
+//! harness measures at before projecting to paper scale.
+//!
+//! The simulator executes real arithmetic, so the paper's full problem
+//! sizes (10240² grids for 10240 iterations) are measured at reduced
+//! scale: per-point event rates converge within a handful of steps, and
+//! `projection::project_report` rescales counters and launch geometry to
+//! the target size (DESIGN.md §3).
+
+use convstencil_baselines::ProblemSize;
+use stencil_core::Shape;
+
+/// One benchmark workload.
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    pub shape: Shape,
+    /// Problem size from Table 4.
+    pub paper_size: ProblemSize,
+    /// Iteration count from Table 4.
+    pub paper_iters: u64,
+    /// Block size column of Table 4.
+    pub block_size: &'static str,
+    /// Spatial size the harness simulates at.
+    pub measure_size: ProblemSize,
+    /// Steps the harness simulates (divisible by every system's natural
+    /// round: fusion degree 3, DRStencil T3, plain stepping).
+    pub measure_steps: usize,
+}
+
+impl Workload {
+    /// A reduced workload for `--quick` runs and tests.
+    pub fn quick(mut self) -> Workload {
+        self.measure_size = match self.measure_size {
+            ProblemSize::D1(n) => ProblemSize::D1(n / 8),
+            ProblemSize::D2(m, n) => ProblemSize::D2(m / 4, n / 4),
+            ProblemSize::D3(d, m, n) => ProblemSize::D3(d, m / 2, n / 2),
+        };
+        self.measure_steps = 3;
+        self
+    }
+}
+
+/// The eight Table 4 workloads, in the paper's order.
+pub fn table4() -> Vec<Workload> {
+    let d1 = |shape| Workload {
+        shape,
+        paper_size: ProblemSize::D1(10_240_000),
+        paper_iters: 100_000,
+        block_size: "1024",
+        measure_size: ProblemSize::D1(1 << 21),
+        measure_steps: 6,
+    };
+    let d2 = |shape| Workload {
+        shape,
+        paper_size: ProblemSize::D2(10_240, 10_240),
+        paper_iters: 10_240,
+        block_size: "32x64",
+        measure_size: ProblemSize::D2(1024, 1024),
+        measure_steps: 6,
+    };
+    let d3 = |shape| Workload {
+        shape,
+        paper_size: ProblemSize::D3(1024, 1024, 1024),
+        paper_iters: 1024,
+        block_size: "8x64",
+        measure_size: ProblemSize::D3(16, 512, 512),
+        measure_steps: 6,
+    };
+    vec![
+        d1(Shape::Heat1D),
+        d1(Shape::OneD5P),
+        d2(Shape::Heat2D),
+        d2(Shape::Box2D9P),
+        d2(Shape::Star2D13P),
+        d2(Shape::Box2D49P),
+        d3(Shape::Heat3D),
+        d3(Shape::Box3D27P),
+    ]
+}
+
+/// Look up the Table 4 workload for a shape.
+pub fn workload_for(shape: Shape) -> Workload {
+    table4()
+        .into_iter()
+        .find(|w| w.shape == shape)
+        .unwrap_or_else(|| panic!("{shape} is not a Table 4 benchmark"))
+}
+
+/// Figure 8 sweep sizes: 2D panels go 256..=5120 step 256; 3D panels go
+/// 64..=1024 step 32 (§5.4).
+pub fn fig8_sizes_2d() -> Vec<usize> {
+    (1..=20).map(|i| i * 256).collect()
+}
+
+pub fn fig8_sizes_3d() -> Vec<usize> {
+    (2..=32).map(|i| i * 32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_workloads_in_paper_order() {
+        let w = table4();
+        assert_eq!(w.len(), 8);
+        assert_eq!(w[0].shape, Shape::Heat1D);
+        assert_eq!(w[7].shape, Shape::Box3D27P);
+    }
+
+    #[test]
+    fn paper_sizes_match_table4() {
+        let w = workload_for(Shape::Heat2D);
+        assert_eq!(w.paper_size, ProblemSize::D2(10_240, 10_240));
+        assert_eq!(w.paper_iters, 10_240);
+        assert_eq!(w.block_size, "32x64");
+        let w1 = workload_for(Shape::OneD5P);
+        assert_eq!(w1.paper_size, ProblemSize::D1(10_240_000));
+        assert_eq!(w1.paper_iters, 100_000);
+    }
+
+    #[test]
+    fn measure_steps_divisible_by_rounds() {
+        for w in table4() {
+            assert_eq!(w.measure_steps % 3, 0, "{}", w.shape);
+        }
+    }
+
+    #[test]
+    fn fig8_sweeps_match_paper_ranges() {
+        let s2 = fig8_sizes_2d();
+        assert_eq!(*s2.first().unwrap(), 256);
+        assert_eq!(*s2.last().unwrap(), 5120);
+        let s3 = fig8_sizes_3d();
+        assert_eq!(*s3.first().unwrap(), 64);
+        assert_eq!(*s3.last().unwrap(), 1024);
+        assert!(s3.windows(2).all(|w| w[1] - w[0] == 32));
+    }
+}

@@ -1,0 +1,14 @@
+//! Appendix-A CLI: 2D ConvStencil.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match convstencil_cli::parse_args(2, &argv) {
+        Ok(args) => {
+            convstencil_cli::run_and_print(&args);
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
+}

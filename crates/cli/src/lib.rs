@@ -1,0 +1,267 @@
+//! Shared implementation of the Appendix-A command-line interface:
+//! `convstencil_1d`, `convstencil_2d`, `convstencil_3d`.
+//!
+//! Invocation grammar (paper Appendix A.4):
+//!
+//! ```text
+//! convstencil_{x}d shape input_size... time_iteration_size [options]
+//! ```
+//!
+//! * `shape`: `1d1r`/`1d2r` (1D), `star2d1r`/`box2d1r`/`star2d3r`/`box2d3r`
+//!   (2D), `star3d1r`/`box3d1r` (3D).
+//! * `input_size`: one value per dimension.
+//! * `time_iteration_size`: number of time steps.
+//! * `--help`: print usage; `--custom w1 w2 ...`: custom kernel weights
+//!   (row-major over the shape's dense support); `--breakdown`: print the
+//!   per-variant breakdown; `--quick`: cap the simulated size.
+//!
+//! Output format matches the artifact (A.5): computation time and
+//! GStencil/s. Time is the *modelled* device time of the full problem
+//! (this is a simulator; see DESIGN.md).
+
+use convstencil::{ConvStencil1D, ConvStencil2D, ConvStencil3D, RunReport, VariantConfig};
+use stencil_core::{Grid1D, Grid2D, Grid3D, Kernel1D, Kernel2D, Kernel3D, Shape};
+use tcu_sim::{CostModel, DeviceConfig, LaunchStats};
+
+/// Parsed command line.
+#[derive(Debug, Clone)]
+pub struct CliArgs {
+    pub shape: Shape,
+    pub sizes: Vec<usize>,
+    pub steps: usize,
+    pub custom_weights: Option<Vec<f64>>,
+    pub breakdown: bool,
+    pub quick: bool,
+}
+
+/// Parse argv for a given dimensionality; returns `Err(usage)` on any
+/// problem.
+pub fn parse_args(dim: usize, argv: &[String]) -> Result<CliArgs, String> {
+    if argv.iter().any(|a| a == "--help") {
+        return Err(usage(dim));
+    }
+    if argv.len() < dim + 2 {
+        return Err(usage(dim));
+    }
+    let shape = Shape::from_cli_name(&argv[0]).ok_or_else(|| {
+        format!("unknown shape '{}'\n{}", argv[0], usage(dim))
+    })?;
+    if shape.dim() != dim {
+        return Err(format!(
+            "shape {} is {}-dimensional; this binary is convstencil_{}d\n{}",
+            argv[0],
+            shape.dim(),
+            dim,
+            usage(dim)
+        ));
+    }
+    let mut sizes = Vec::with_capacity(dim);
+    for a in &argv[1..1 + dim] {
+        sizes.push(a.parse::<usize>().map_err(|_| usage(dim))?);
+    }
+    let steps = argv[1 + dim].parse::<usize>().map_err(|_| usage(dim))?;
+    let mut custom_weights = None;
+    let mut breakdown = false;
+    let mut quick = false;
+    let mut i = dim + 2;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--breakdown" => breakdown = true,
+            "--quick" => quick = true,
+            "--custom" => {
+                let need = match dim {
+                    1 => shape.nk(),
+                    2 => shape.nk() * shape.nk(),
+                    _ => shape.nk() * shape.nk() * shape.nk(),
+                };
+                let vals: Result<Vec<f64>, _> =
+                    argv[i + 1..].iter().take(need).map(|a| a.parse::<f64>()).collect();
+                let vals = vals.map_err(|_| "invalid --custom weights".to_string())?;
+                if vals.len() != need {
+                    return Err(format!("--custom needs {need} weights for {}", shape.name()));
+                }
+                i += need;
+                custom_weights = Some(vals);
+            }
+            other => return Err(format!("unknown option '{other}'\n{}", usage(dim))),
+        }
+        i += 1;
+    }
+    Ok(CliArgs {
+        shape,
+        sizes,
+        steps,
+        custom_weights,
+        breakdown,
+        quick,
+    })
+}
+
+/// Usage text per dimensionality.
+pub fn usage(dim: usize) -> String {
+    let (shapes, sizes) = match dim {
+        1 => ("1d1r | 1d2r", "n"),
+        2 => ("star2d1r | box2d1r | star2d2r | box2d2r | star2d3r | box2d3r", "m n"),
+        _ => ("star3d1r | box3d1r", "d m n"),
+    };
+    format!(
+        "usage: convstencil_{dim}d <shape> <{sizes}> <time_iteration_size> [options]\n\
+         shapes: {shapes}\n\
+         options:\n  --help       print this help\n  --custom w.. custom stencil kernel weights\n  --breakdown  per-optimization breakdown (Fig. 6 variants)\n  --quick      cap the simulated grid (results projected to the full size)"
+    )
+}
+
+/// Cap oversized grids for simulation; the report is projected back to the
+/// requested problem (same per-point event rates, exact step count).
+fn cap(requested: usize, cap_to: usize) -> usize {
+    requested.min(cap_to)
+}
+
+fn project_gstencils(report: &RunReport, cfg: &DeviceConfig, points: u64, steps: u64) -> (f64, f64) {
+    let scale = points as f64 / report.points as f64 * steps as f64 / report.steps as f64;
+    let counters = report.counters.scaled(scale);
+    let launches =
+        ((report.launch_stats.kernel_launches as f64 * steps as f64 / report.steps as f64).round()
+            as u64)
+            .max(1);
+    let blocks = ((report.launch_stats.total_blocks as f64 * scale).round() as u64).max(launches);
+    let stats = LaunchStats {
+        kernel_launches: launches,
+        total_blocks: blocks,
+    };
+    let model = CostModel::new(cfg.clone());
+    let total = model.evaluate(&counters, &stats).total;
+    let g = model.gstencils_per_sec(&counters, &stats, points, steps) * report.throughput_scale;
+    (total, g)
+}
+
+/// Run one configuration and print the artifact-format output. Returns
+/// the modelled GStencils/s.
+pub fn run_and_print(args: &CliArgs) -> f64 {
+    let cfg = DeviceConfig::a100();
+    let dim = args.shape.dim();
+    let max_side: usize = match (dim, args.quick) {
+        (1, true) => 1 << 20,
+        (1, false) => 1 << 23,
+        (2, true) => 512,
+        (2, false) => 2048,
+        (_, true) => 128,
+        (_, false) => 256,
+    };
+    let steps_sim = args.steps.clamp(1, 6);
+    let variants: Vec<(&str, VariantConfig)> = if args.breakdown {
+        VariantConfig::breakdown().to_vec()
+    } else {
+        vec![("ConvStencil", VariantConfig::conv_stencil())]
+    };
+    println!(
+        "INFO: shape = {}, {}, times = {}",
+        args.shape.cli_name(),
+        match dim {
+            1 => format!("n = {}", args.sizes[0]),
+            2 => format!("m = {}, n = {}", args.sizes[0], args.sizes[1]),
+            _ => format!("d = {}, m = {}, n = {}", args.sizes[0], args.sizes[1], args.sizes[2]),
+        },
+        args.steps
+    );
+    let points: u64 = args.sizes.iter().map(|&s| s as u64).product();
+    let mut last = 0.0;
+    for (name, variant) in variants {
+        let report = match dim {
+            1 => {
+                let kernel = match &args.custom_weights {
+                    Some(w) => Kernel1D::new(w.clone()),
+                    None => args.shape.kernel1d().unwrap(),
+                };
+                let n = cap(args.sizes[0], max_side * 64);
+                let mut g = Grid1D::new(n, kernel.radius());
+                g.fill_random(42);
+                ConvStencil1D::new(kernel).with_variant(variant).run(&g, steps_sim).1
+            }
+            2 => {
+                let kernel = match &args.custom_weights {
+                    Some(w) => Kernel2D::new(args.shape.radius(), w.clone()),
+                    None => args.shape.kernel2d().unwrap(),
+                };
+                let (m, n) = (cap(args.sizes[0], max_side), cap(args.sizes[1], max_side));
+                let mut g = Grid2D::new(m, n, kernel.radius());
+                g.fill_random(42);
+                ConvStencil2D::new(kernel).with_variant(variant).run(&g, steps_sim).1
+            }
+            _ => {
+                let kernel = match &args.custom_weights {
+                    Some(w) => Kernel3D::new(args.shape.radius(), w.clone()),
+                    None => args.shape.kernel3d().unwrap(),
+                };
+                let (d, m, n) = (
+                    cap(args.sizes[0], max_side / 4),
+                    cap(args.sizes[1], max_side),
+                    cap(args.sizes[2], max_side),
+                );
+                let mut g = Grid3D::new(d, m, n, kernel.radius());
+                g.fill_random(42);
+                ConvStencil3D::new(kernel).with_variant(variant).run(&g, steps_sim).1
+            }
+        };
+        let (time, gstencils) = project_gstencils(&report, &cfg, points, args.steps as u64);
+        if args.breakdown {
+            println!("{name}:");
+        } else {
+            println!("ConvStencil({dim}D):");
+        }
+        println!("Time = {:.0}[ms]", time * 1e3);
+        println!("GStencil/s = {gstencils:.6}");
+        last = gstencils;
+    }
+    last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_the_appendix_example() {
+        // ./convstencil_2d box2d1r 10240 10240 10240
+        let a = parse_args(2, &sv(&["box2d1r", "10240", "10240", "10240"])).unwrap();
+        assert_eq!(a.shape, Shape::Box2D9P);
+        assert_eq!(a.sizes, vec![10240, 10240]);
+        assert_eq!(a.steps, 10240);
+        assert!(!a.breakdown);
+    }
+
+    #[test]
+    fn help_and_bad_input_yield_usage() {
+        assert!(parse_args(2, &sv(&["--help"])).is_err());
+        assert!(parse_args(2, &sv(&["box9d1r", "4", "4", "4"])).is_err());
+        assert!(parse_args(2, &sv(&["box2d1r", "4", "4"])).is_err());
+        // Dimension mismatch.
+        assert!(parse_args(1, &sv(&["box2d1r", "4", "4", "4"])).is_err());
+    }
+
+    #[test]
+    fn custom_weights_parse() {
+        let mut args = vec!["1d1r".to_string(), "1000".into(), "4".into(), "--custom".into()];
+        args.extend(["0.3", "0.4", "0.3"].iter().map(|s| s.to_string()));
+        let a = parse_args(1, &args).unwrap();
+        assert_eq!(a.custom_weights, Some(vec![0.3, 0.4, 0.3]));
+    }
+
+    #[test]
+    fn run_small_2d() {
+        let a = CliArgs {
+            shape: Shape::Box2D9P,
+            sizes: vec![128, 128],
+            steps: 3,
+            custom_weights: None,
+            breakdown: false,
+            quick: true,
+        };
+        let g = run_and_print(&a);
+        assert!(g > 0.0);
+    }
+}

@@ -1,0 +1,481 @@
+//! High-level ConvStencil front end: pick a kernel, run `t` time steps on
+//! the simulated device, get the result grid plus a performance report.
+//!
+//! Temporal kernel fusion (§3.3) is applied automatically: radius-1
+//! kernels fuse 3 steps into one n_k = 7 application (Fig. 4's
+//! Box-2D9P → Box-2D49P), exactly the configuration the paper evaluates.
+//! Fusion approximates a boundary ring of width `fusion·r − r` (the halo
+//! is frozen per application rather than per step); deep-interior results
+//! equal plain stepping, and every result equals the frozen-halo
+//! application of the fused kernel exactly — see `stencil_core::fusion`.
+//!
+//! Steps not divisible by the fusion degree run their remainder through a
+//! smaller fused kernel, so any step count is supported exactly.
+
+use crate::exec1d::{run_1d_applications_bc, Exec1D};
+use crate::exec2d::{run_2d_applications_bc, Exec2D};
+use crate::exec3d::{run_3d_applications_bc, Exec3D};
+use crate::variants::VariantConfig;
+use serde::{Deserialize, Serialize};
+use stencil_core::{
+    auto_fusion_degree, fuse1d, fuse2d, Boundary, Grid1D, Grid2D, Grid3D, Kernel1D, Kernel2D,
+    Kernel3D,
+};
+use tcu_sim::{CostBreakdown, CostModel, Counters, Device, DeviceConfig, LaunchStats};
+
+/// Largest kernel edge the FP64 fragment supports (n_k + 1 <= 8).
+pub const MAX_NK: usize = 7;
+
+/// Performance report of one simulated run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Event ledger of everything the run executed.
+    pub counters: Counters,
+    pub launch_stats: LaunchStats,
+    /// Stencil points per time step.
+    pub points: u64,
+    /// Time steps advanced.
+    pub steps: u64,
+    /// Modelled cost (paper Eq. 2–4 over the ledger).
+    pub cost: CostBreakdown,
+    /// Modelled throughput (paper Eq. 16).
+    pub gstencils_per_sec: f64,
+    /// Extra factor already applied to `gstencils_per_sec` (1.0 for
+    /// everything except the TCStencil analog's FP64 adjustment, 0.25);
+    /// projections to other problem sizes must re-apply it.
+    pub throughput_scale: f64,
+}
+
+impl RunReport {
+    fn from_device(dev: &Device, points: u64, steps: u64) -> Self {
+        let model = CostModel::new(dev.config.clone());
+        let cost = model.evaluate(&dev.counters, &dev.launch_stats);
+        let gstencils_per_sec =
+            model.gstencils_per_sec(&dev.counters, &dev.launch_stats, points, steps);
+        Self {
+            counters: dev.counters,
+            launch_stats: dev.launch_stats,
+            points,
+            steps,
+            cost,
+            gstencils_per_sec,
+            throughput_scale: 1.0,
+        }
+    }
+}
+
+/// 2D ConvStencil runner.
+#[derive(Debug, Clone)]
+pub struct ConvStencil2D {
+    kernel: Kernel2D,
+    fused: Kernel2D,
+    fusion: usize,
+    variant: VariantConfig,
+    device: DeviceConfig,
+    boundary: Boundary,
+}
+
+impl ConvStencil2D {
+    /// Build with automatic temporal fusion up to n_k = 7.
+    pub fn new(kernel: Kernel2D) -> Self {
+        let fusion = auto_fusion_degree(kernel.radius(), MAX_NK);
+        Self::with_fusion(kernel, fusion)
+    }
+
+    /// Build with an explicit fusion degree (1 = none).
+    pub fn with_fusion(kernel: Kernel2D, fusion: usize) -> Self {
+        assert!(fusion >= 1);
+        assert!(
+            2 * kernel.radius() * fusion < MAX_NK,
+            "fused kernel exceeds n_k = {MAX_NK}"
+        );
+        let fused = fuse2d(&kernel, fusion);
+        Self {
+            kernel,
+            fused,
+            fusion,
+            variant: VariantConfig::conv_stencil(),
+            device: DeviceConfig::a100(),
+            boundary: Boundary::Dirichlet,
+        }
+    }
+
+    /// Choose the boundary condition. Under [`Boundary::Periodic`] the
+    /// halo is wrapped on-device before every application and temporal
+    /// fusion is *exact* (a fused application equals `t` plain steps
+    /// everywhere on the torus).
+    pub fn with_boundary(mut self, boundary: Boundary) -> Self {
+        self.boundary = boundary;
+        self
+    }
+
+    /// Use a specific optimization variant (Fig. 6 breakdown).
+    pub fn with_variant(mut self, variant: VariantConfig) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// Use a custom device configuration.
+    pub fn with_device(mut self, device: DeviceConfig) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// The automatic (or requested) fusion degree.
+    pub fn fusion(&self) -> usize {
+        self.fusion
+    }
+
+    /// The kernel actually executed per application.
+    pub fn fused_kernel(&self) -> &Kernel2D {
+        &self.fused
+    }
+
+    pub fn base_kernel(&self) -> &Kernel2D {
+        &self.kernel
+    }
+
+    /// Advance `steps` time steps; returns the result grid and the report.
+    ///
+    /// Kernel fusion is a Tensor-Core densification technique (§3.3,
+    /// Fig. 4), so the CUDA-core breakdown variants (I/II) run unfused —
+    /// fusing would only inflate their FLOP count.
+    pub fn run(&self, grid: &Grid2D, steps: usize) -> (Grid2D, RunReport) {
+        let (m, n) = (grid.rows(), grid.cols());
+        let mut dev = Device::new(self.device.clone());
+        let mut current = grid.clone();
+        let fusion = if self.variant.use_tcu { self.fusion } else { 1 };
+        let fused = if fusion == self.fusion {
+            self.fused.clone()
+        } else {
+            self.kernel.clone()
+        };
+        let full_apps = steps / fusion;
+        let remainder = steps % fusion;
+        if full_apps > 0 {
+            current = self.run_apps(&mut dev, &current, &fused, full_apps);
+        }
+        if remainder > 0 {
+            let rem_kernel = fuse2d(&self.kernel, remainder);
+            current = self.run_apps(&mut dev, &current, &rem_kernel, 1);
+        }
+        let report = RunReport::from_device(&dev, (m * n) as u64, steps as u64);
+        (current, report)
+    }
+
+    fn run_apps(&self, dev: &mut Device, grid: &Grid2D, kernel: &Kernel2D, apps: usize) -> Grid2D {
+        let exec = Exec2D::new(kernel, grid.rows(), grid.cols(), self.variant);
+        let work = if grid.halo() >= kernel.radius() {
+            grid.clone()
+        } else {
+            grid.with_halo(kernel.radius())
+        };
+        let ext0 = exec.plan.build_ext(&work);
+        let ext = run_2d_applications_bc(dev, &exec, &ext0, apps, self.boundary);
+        let mut out = grid.clone();
+        exec.plan.extract_into(&ext, &mut out);
+        out
+    }
+}
+
+/// 1D ConvStencil runner.
+#[derive(Debug, Clone)]
+pub struct ConvStencil1D {
+    kernel: Kernel1D,
+    fused: Kernel1D,
+    fusion: usize,
+    variant: VariantConfig,
+    device: DeviceConfig,
+    boundary: Boundary,
+}
+
+impl ConvStencil1D {
+    pub fn new(kernel: Kernel1D) -> Self {
+        let fusion = auto_fusion_degree(kernel.radius(), MAX_NK);
+        Self::with_fusion(kernel, fusion)
+    }
+
+    pub fn with_fusion(kernel: Kernel1D, fusion: usize) -> Self {
+        assert!(fusion >= 1);
+        assert!(2 * kernel.radius() * fusion < MAX_NK);
+        let fused = fuse1d(&kernel, fusion);
+        Self {
+            kernel,
+            fused,
+            fusion,
+            variant: VariantConfig::conv_stencil(),
+            device: DeviceConfig::a100(),
+            boundary: Boundary::Dirichlet,
+        }
+    }
+
+    /// Choose the boundary condition (see [`ConvStencil2D::with_boundary`]).
+    pub fn with_boundary(mut self, boundary: Boundary) -> Self {
+        self.boundary = boundary;
+        self
+    }
+
+    pub fn with_variant(mut self, variant: VariantConfig) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    pub fn with_device(mut self, device: DeviceConfig) -> Self {
+        self.device = device;
+        self
+    }
+
+    pub fn fusion(&self) -> usize {
+        self.fusion
+    }
+
+    pub fn fused_kernel(&self) -> &Kernel1D {
+        &self.fused
+    }
+
+    /// Advance `steps` time steps (see [`ConvStencil2D::run`] on fusion
+    /// and CUDA-core variants).
+    pub fn run(&self, grid: &Grid1D, steps: usize) -> (Grid1D, RunReport) {
+        let n = grid.len();
+        let mut dev = Device::new(self.device.clone());
+        let mut current = grid.clone();
+        let fusion = if self.variant.use_tcu { self.fusion } else { 1 };
+        let fused = if fusion == self.fusion {
+            self.fused.clone()
+        } else {
+            self.kernel.clone()
+        };
+        let full_apps = steps / fusion;
+        let remainder = steps % fusion;
+        if full_apps > 0 {
+            current = self.run_apps(&mut dev, &current, &fused, full_apps);
+        }
+        if remainder > 0 {
+            let rem_kernel = fuse1d(&self.kernel, remainder);
+            current = self.run_apps(&mut dev, &current, &rem_kernel, 1);
+        }
+        let report = RunReport::from_device(&dev, n as u64, steps as u64);
+        (current, report)
+    }
+
+    fn run_apps(&self, dev: &mut Device, grid: &Grid1D, kernel: &Kernel1D, apps: usize) -> Grid1D {
+        let exec = Exec1D::new(kernel, grid.len(), self.variant);
+        let work = if grid.halo() >= kernel.radius() {
+            grid.clone()
+        } else {
+            grid.with_halo(kernel.radius())
+        };
+        let ext0 = exec.plan.build_ext(&work);
+        let ext = run_1d_applications_bc(dev, &exec, &ext0, apps, self.boundary);
+        let mut out = grid.clone();
+        exec.plan.extract_into(&ext, &mut out);
+        out
+    }
+}
+
+/// 3D ConvStencil runner (§4.2 — no temporal fusion: fusing a 3D kernel
+/// grows the number of planes *and* the per-plane cost, so the paper's
+/// fusion applies to 1D/2D only).
+#[derive(Debug, Clone)]
+pub struct ConvStencil3D {
+    kernel: Kernel3D,
+    variant: VariantConfig,
+    device: DeviceConfig,
+    boundary: Boundary,
+}
+
+impl ConvStencil3D {
+    pub fn new(kernel: Kernel3D) -> Self {
+        assert!(kernel.nk() <= MAX_NK);
+        Self {
+            kernel,
+            variant: VariantConfig::conv_stencil(),
+            device: DeviceConfig::a100(),
+            boundary: Boundary::Dirichlet,
+        }
+    }
+
+    /// Choose the boundary condition (see [`ConvStencil2D::with_boundary`]).
+    pub fn with_boundary(mut self, boundary: Boundary) -> Self {
+        self.boundary = boundary;
+        self
+    }
+
+    pub fn with_variant(mut self, variant: VariantConfig) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    pub fn with_device(mut self, device: DeviceConfig) -> Self {
+        self.device = device;
+        self
+    }
+
+    pub fn run(&self, grid: &Grid3D, steps: usize) -> (Grid3D, RunReport) {
+        let (d, m, n) = (grid.depth(), grid.rows(), grid.cols());
+        let mut dev = Device::new(self.device.clone());
+        let exec = Exec3D::new(&self.kernel, d, m, n, self.variant);
+        let ext0 = exec.build_ext(grid);
+        let ext = run_3d_applications_bc(&mut dev, &exec, &ext0, steps, self.boundary);
+        let mut out = grid.clone();
+        exec.extract_into(&ext, &mut out);
+        let report = RunReport::from_device(&dev, (d * m * n) as u64, steps as u64);
+        (out, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_core::reference::{run1d, run2d, run3d};
+    use stencil_core::{assert_close_default, Shape};
+
+    #[test]
+    fn heat2d_auto_fuses_to_3() {
+        let cs = ConvStencil2D::new(Shape::Heat2D.kernel2d().unwrap());
+        assert_eq!(cs.fusion(), 3);
+        assert_eq!(cs.fused_kernel().nk(), 7);
+    }
+
+    #[test]
+    fn box2d49p_does_not_fuse() {
+        let cs = ConvStencil2D::new(Shape::Box2D49P.kernel2d().unwrap());
+        assert_eq!(cs.fusion(), 1);
+    }
+
+    #[test]
+    fn fused_run_equals_fused_reference() {
+        // ConvStencil with fusion 3 for 6 steps == two frozen-halo
+        // applications of the fused kernel.
+        let kernel = Shape::Heat2D.kernel2d().unwrap();
+        let cs = ConvStencil2D::new(kernel.clone());
+        let mut grid = Grid2D::new(48, 80, cs.fused_kernel().radius());
+        grid.fill_random(12);
+        let (got, report) = cs.run(&grid, 6);
+        let want = run2d(&grid, cs.fused_kernel(), 2);
+        assert_close_default(&got.interior(), &want.interior());
+        assert_eq!(report.steps, 6);
+        assert!(report.gstencils_per_sec > 0.0);
+    }
+
+    #[test]
+    fn fused_run_matches_plain_stepping_in_deep_interior() {
+        let kernel = Shape::Heat2D.kernel2d().unwrap();
+        let cs = ConvStencil2D::new(kernel.clone());
+        let mut grid = Grid2D::new(64, 64, 3);
+        grid.fill_random(9);
+        let (got, _) = cs.run(&grid, 3);
+        let want = run2d(&grid, &kernel, 3);
+        // Depth >= fusion·r = 3 from the boundary: exact agreement.
+        for x in 3..61 {
+            for y in 3..61 {
+                let (a, b) = (got.get(x, y), want.get(x, y));
+                assert!(
+                    (a - b).abs() / a.abs().max(1.0) < 1e-10,
+                    "({x},{y}): {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn remainder_steps_are_exact() {
+        // 4 steps at fusion 3 = one fused app + one single-step app; must
+        // equal naive stepping in the deep interior.
+        let kernel = Shape::Box2D9P.kernel2d().unwrap();
+        let cs = ConvStencil2D::new(kernel.clone());
+        let mut grid = Grid2D::new(48, 48, 4);
+        grid.fill_random(3);
+        let (got, report) = cs.run(&grid, 4);
+        assert_eq!(report.steps, 4);
+        let want = run2d(&grid, &kernel, 4);
+        for x in 4..44 {
+            for y in 4..44 {
+                let (a, b) = (got.get(x, y), want.get(x, y));
+                assert!((a - b).abs() / a.abs().max(1.0) < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn oned_api_runs_heat1d() {
+        let kernel = Shape::Heat1D.kernel1d().unwrap();
+        let cs = ConvStencil1D::new(kernel.clone());
+        assert_eq!(cs.fusion(), 3);
+        let mut grid = Grid1D::new(5000, 3);
+        grid.fill_random(2);
+        let (got, report) = cs.run(&grid, 3);
+        let want = run1d(&grid, cs.fused_kernel(), 1);
+        assert_close_default(&got.interior(), &want.interior());
+        assert!(report.counters.dmma_ops > 0);
+    }
+
+    #[test]
+    fn threed_api_runs_heat3d() {
+        let kernel = Shape::Heat3D.kernel3d().unwrap();
+        let cs = ConvStencil3D::new(kernel.clone());
+        let mut grid = Grid3D::new(8, 16, 32, 1);
+        grid.fill_random(4);
+        let (got, report) = cs.run(&grid, 2);
+        let want = run3d(&grid, &kernel, 2);
+        assert_close_default(&got.interior(), &want.interior());
+        assert_eq!(report.points, 8 * 16 * 32);
+    }
+
+    #[test]
+    fn periodic_2d_fused_equals_t_periodic_steps_exactly() {
+        // On a torus, fusion is exact *everywhere* — no boundary ring.
+        let kernel = Shape::Heat2D.kernel2d().unwrap();
+        let cs = ConvStencil2D::new(kernel.clone()).with_boundary(Boundary::Periodic);
+        let mut grid = Grid2D::new(40, 72, 3);
+        grid.fill_random(31);
+        let (got, _) = cs.run(&grid, 6);
+        let want = stencil_core::run2d_periodic(&grid, &kernel, 6);
+        assert_close_default(&got.interior(), &want.interior());
+    }
+
+    #[test]
+    fn periodic_1d_matches_reference_everywhere() {
+        let kernel = Shape::Heat1D.kernel1d().unwrap();
+        let cs = ConvStencil1D::new(kernel.clone()).with_boundary(Boundary::Periodic);
+        let mut grid = Grid1D::new(3000, 3);
+        grid.fill_random(7);
+        let (got, _) = cs.run(&grid, 6);
+        let want = stencil_core::run1d_periodic(&grid, &kernel, 6);
+        assert_close_default(&got.interior(), &want.interior());
+    }
+
+    #[test]
+    fn periodic_3d_matches_reference_everywhere() {
+        let kernel = Shape::Box3D27P.kernel3d().unwrap();
+        let cs = ConvStencil3D::new(kernel.clone()).with_boundary(Boundary::Periodic);
+        let mut grid = Grid3D::new(8, 12, 40, 1);
+        grid.fill_random(9);
+        let (got, _) = cs.run(&grid, 2);
+        let want = stencil_core::run3d_periodic(&grid, &kernel, 2);
+        assert_close_default(&got.interior(), &want.interior());
+    }
+
+    #[test]
+    fn periodic_conserves_mass() {
+        let kernel = Shape::Box2D9P.kernel2d().unwrap();
+        let cs = ConvStencil2D::new(kernel).with_boundary(Boundary::Periodic);
+        let mut grid = Grid2D::new(48, 48, 3);
+        grid.fill_random(2);
+        let before: f64 = grid.interior().iter().sum();
+        let (out, _) = cs.run(&grid, 9);
+        let after: f64 = out.interior().iter().sum();
+        assert!((before - after).abs() / before < 1e-12);
+    }
+
+    #[test]
+    fn report_is_serializable_shape() {
+        let kernel = Shape::Box2D9P.kernel2d().unwrap();
+        let cs = ConvStencil2D::new(kernel);
+        let mut grid = Grid2D::new(32, 32, 3);
+        grid.fill_random(1);
+        let (_, report) = cs.run(&grid, 3);
+        assert!(report.cost.total > 0.0);
+        assert!(report.cost.parallel_efficiency > 0.0 && report.cost.parallel_efficiency <= 1.0);
+    }
+}

@@ -1,0 +1,759 @@
+//! The simulated 3D ConvStencil pipeline (paper §4.2).
+//!
+//! A 3D stencil decomposes into `n_k` 2D stencils — one per z-plane of the
+//! kernel — whose results are summed. Each thread block covers one output
+//! plane band (8 output rows x 64 output columns, Table 4's 8x64 block),
+//! builds the stencil2row tiles of all `n_k` input planes in shared
+//! memory, and accumulates the per-plane dual tessellations in the same
+//! MMA accumulator (one fragment store per output, not one per plane).
+//!
+//! For star-shaped 3D kernels the off-center planes contain a single
+//! non-zero weight; per §4.2 those "small planes" are computed on the
+//! simulated CUDA cores and added to the Tensor-Core result, while the
+//! dense center plane goes through dual tessellation.
+
+use crate::plan::{Plan2D, ScatterLut, LUT_SKIP};
+use crate::variants::VariantConfig;
+use crate::weights::WeightMatrices;
+use stencil_core::{Grid3D, Kernel3D};
+use tcu_sim::{BlockCtx, BufferId, Device, FragAcc, FragB, INACTIVE};
+
+/// How one kernel plane is computed.
+#[derive(Debug, Clone)]
+enum PlaneKind {
+    /// All-zero plane: skipped entirely.
+    Empty,
+    /// Small plane (§4.2): CUDA-core taps `(kx, ky, w)`.
+    Scalar(Vec<(usize, usize, f64)>),
+    /// Dense plane: dual tessellation with these weight matrices.
+    Mma(WeightMatrices),
+}
+
+/// Precompiled 3D executor.
+#[derive(Debug, Clone)]
+pub struct Exec3D {
+    /// Per-plane 2D plan (block shape 8 x 64).
+    pub plane_plan: Plan2D,
+    pub variant: VariantConfig,
+    pub d: usize,
+    pub nk: usize,
+    pub radius: usize,
+    planes: Vec<PlaneKind>,
+    lut: ScatterLut,
+    /// Output planes per block (z-sliding window; each block stages
+    /// `bz + n_k - 1` input-plane tile pairs and reuses them across its
+    /// `bz` output planes, so global reads stay ~1x instead of n_k x).
+    pub bz: usize,
+    /// Offset of input-plane slot `s`'s tile pair in shared memory
+    /// (`bz + n_k - 1` slots).
+    slot_off: Vec<usize>,
+    /// Offset of plane `dz`'s weight matrices (MMA planes only).
+    weight_off: Vec<usize>,
+    shared_total: usize,
+    /// Input column -> (in_a, group, offset) for the scalar path.
+    colmap: Vec<(bool, usize, usize)>,
+    /// Maximum non-zero taps treated as a "small plane".
+    pub scalar_plane_threshold: usize,
+}
+
+/// Global scratch for the explicit (variant I) 3D pipeline: the
+/// stencil2row matrices of every extended input plane.
+#[derive(Debug, Clone, Copy)]
+pub struct ExplicitBuffers3D {
+    pub s2r_a: BufferId,
+    pub s2r_b: BufferId,
+    /// Rows per plane section.
+    pub rows: usize,
+    /// Columns of each matrix.
+    pub cols: usize,
+}
+
+impl Exec3D {
+    pub fn new(kernel: &Kernel3D, d: usize, m: usize, n: usize, variant: VariantConfig) -> Self {
+        let nk = kernel.nk();
+        let radius = kernel.radius();
+        let plane_plan = Plan2D::new_3d_plane(m, n, nk, variant);
+        let lut = plane_plan.build_scatter_lut(variant);
+        let scalar_plane_threshold = 2;
+        let mut planes = Vec::with_capacity(nk);
+        for dz in 0..nk {
+            let pk = kernel.plane(dz as isize - radius as isize);
+            let pts = pk.points();
+            if pts == 0 {
+                planes.push(PlaneKind::Empty);
+            } else if pts <= scalar_plane_threshold || !variant.use_tcu {
+                let mut taps = Vec::with_capacity(pts);
+                for kx in 0..nk {
+                    for ky in 0..nk {
+                        let w = pk.weight_tl(kx, ky);
+                        if w != 0.0 {
+                            taps.push((kx, ky, w));
+                        }
+                    }
+                }
+                planes.push(PlaneKind::Scalar(taps));
+            } else {
+                planes.push(PlaneKind::Mma(WeightMatrices::from_kernel2d(&pk)));
+            }
+        }
+        // Shared layout: one tile pair per input-plane slot of the
+        // z-sliding window, then weight regions for the MMA planes.
+        // Choose the largest bz <= 8 whose slots fit the 164 KiB budget.
+        let tile_pair = 2 * plane_plan.layout.b_off; // a tile + b tile
+        let weights_total: usize = planes
+            .iter()
+            .filter_map(|p| match p {
+                PlaneKind::Mma(w) => Some(2 * w.krows * 8),
+                _ => None,
+            })
+            .sum();
+        let capacity = 164 * 1024 / 8;
+        let bz = (1..=8usize)
+            .rev()
+            .find(|bz| (bz + nk - 1) * tile_pair + weights_total <= capacity)
+            .expect("even a single-plane window exceeds shared memory");
+        let slots = bz + nk - 1;
+        let mut slot_off = Vec::with_capacity(slots);
+        let mut cursor = 0usize;
+        for _ in 0..slots {
+            slot_off.push(cursor);
+            cursor += tile_pair;
+        }
+        let mut weight_off = vec![usize::MAX; nk];
+        for (dz, p) in planes.iter().enumerate() {
+            if let PlaneKind::Mma(w) = p {
+                weight_off[dz] = cursor;
+                cursor += 2 * w.krows * 8;
+            }
+        }
+        let shared_total = cursor.max(64);
+        // Scalar-path column map (same for every plane).
+        let mut colmap = Vec::with_capacity(plane_plan.span);
+        for c in 0..plane_plan.span {
+            let entry = match crate::stencil2row::map_a(0, c, nk) {
+                Some((g, col)) if g < plane_plan.block_groups => (true, g, col),
+                _ => {
+                    let (g, col) = crate::stencil2row::map_b(0, c, nk)
+                        .expect("column dropped by both stencil2row matrices");
+                    (false, g, col)
+                }
+            };
+            colmap.push(entry);
+        }
+        Self {
+            plane_plan,
+            variant,
+            d,
+            nk,
+            radius,
+            planes,
+            lut,
+            bz,
+            slot_off,
+            weight_off,
+            shared_total,
+            colmap,
+            scalar_plane_threshold,
+        }
+    }
+
+    pub fn shared_len(&self) -> usize {
+        self.shared_total
+    }
+
+    /// Allocate variant-I scratch: per-plane stencil2row matrices in
+    /// global memory.
+    pub fn alloc_explicit(&self, dev: &mut Device) -> ExplicitBuffers3D {
+        let p = &self.plane_plan;
+        let rows = p.blocks_g * p.block_groups;
+        let cols = p.nk * p.ext_rows;
+        let len = self.ext_planes() * rows * cols;
+        ExplicitBuffers3D {
+            s2r_a: dev.alloc(len),
+            s2r_b: dev.alloc(len),
+            rows,
+            cols,
+        }
+    }
+
+    /// Variant-I transform kernel: materialize the stencil2row matrices of
+    /// every extended plane in global memory (scattered writes, div/mod
+    /// addressing — the costs the explicit layout pays).
+    fn run_transform_kernel(&self, dev: &mut Device, ext_in: BufferId, bufs: ExplicitBuffers3D) {
+        let p = &self.plane_plan;
+        let nk = self.nk;
+        let ps = self.plane_size();
+        let rows_per_block = 32usize;
+        let blocks_per_plane = p.ext_rows.div_ceil(rows_per_block);
+        let num_blocks = self.ext_planes() * blocks_per_plane;
+        let first = p.lc - p.radius;
+        dev.launch(num_blocks, 64, |bid, ctx| {
+            let plane = bid / blocks_per_plane;
+            let chunk = bid % blocks_per_plane;
+            let r0 = chunk * rows_per_block;
+            let r1 = (r0 + rows_per_block).min(p.ext_rows);
+            let sec = plane * bufs.rows * bufs.cols;
+            let mut a_addrs = [INACTIVE; 32];
+            let mut b_addrs = [INACTIVE; 32];
+            let mut vals32 = [0.0f64; 32];
+            for r in r0..r1 {
+                let vals = ctx.gmem_read_span(ext_in, plane * ps + r * p.ext_cols, p.ext_cols);
+                let mut lane = 0usize;
+                for (c, &v) in vals.iter().enumerate() {
+                    let Some(c_rel) = c.checked_sub(first) else {
+                        continue;
+                    };
+                    ctx.count_divmod(2);
+                    ctx.count_branch(2);
+                    ctx.count_int(4);
+                    a_addrs[lane] = match crate::stencil2row::map_a(r, c_rel, nk) {
+                        Some((g, col)) if g < bufs.rows => sec + g * bufs.cols + col,
+                        _ => INACTIVE,
+                    };
+                    b_addrs[lane] = match crate::stencil2row::map_b(r, c_rel, nk) {
+                        Some((g, col)) if g < bufs.rows => sec + g * bufs.cols + col,
+                        _ => INACTIVE,
+                    };
+                    vals32[lane] = v;
+                    lane += 1;
+                    if lane == 32 {
+                        ctx.gmem_write_warp(bufs.s2r_a, &a_addrs, &vals32);
+                        ctx.gmem_write_warp(bufs.s2r_b, &b_addrs, &vals32);
+                        lane = 0;
+                    }
+                }
+                if lane > 0 {
+                    ctx.gmem_write_warp(bufs.s2r_a, &a_addrs[..lane], &vals32[..lane]);
+                    ctx.gmem_write_warp(bufs.s2r_b, &b_addrs[..lane], &vals32[..lane]);
+                }
+            }
+        });
+    }
+
+    /// Variant-I staging: copy the block's tile rows of a plane's global
+    /// stencil2row matrices into shared.
+    #[allow(clippy::too_many_arguments)]
+    fn stage_plane_from_global(
+        &self,
+        ctx: &mut BlockCtx,
+        bufs: ExplicitBuffers3D,
+        plane: usize,
+        base_off: usize,
+        bx: usize,
+        bg: usize,
+        tile_rows: usize,
+    ) {
+        let p = &self.plane_plan;
+        let lay = &p.layout;
+        let sec = plane * bufs.rows * bufs.cols;
+        let col0 = p.nk * (bx * p.block_rows);
+        let width = (p.nk * tile_rows).min(bufs.cols - col0);
+        let mut addrs: Vec<usize> = Vec::with_capacity(32);
+        for ga in 0..p.block_groups {
+            let g = bg * p.block_groups + ga;
+            if g >= bufs.rows {
+                continue;
+            }
+            for (buf, off) in [
+                (bufs.s2r_a, base_off + lay.a_off),
+                (bufs.s2r_b, base_off + lay.b_off),
+            ] {
+                let vals = ctx.gmem_read_span(buf, sec + g * bufs.cols + col0, width);
+                ctx.count_int(width as u64);
+                let mut i = 0;
+                while i < width {
+                    let lanes = 32.min(width - i);
+                    addrs.clear();
+                    addrs.extend((0..lanes).map(|l| off + ga * lay.stride + i + l));
+                    ctx.smem_store(&addrs, &vals[i..i + lanes]);
+                    i += lanes;
+                }
+            }
+        }
+    }
+
+    /// Extended-array planes (input window depth).
+    pub fn ext_planes(&self) -> usize {
+        self.d + self.nk - 1
+    }
+
+    /// Size of one extended plane in f64.
+    pub fn plane_size(&self) -> usize {
+        self.plane_plan.ext_rows * self.plane_plan.ext_cols
+    }
+
+    /// Build the 3D extended array from a grid.
+    pub fn build_ext(&self, grid: &Grid3D) -> Vec<f64> {
+        assert_eq!(
+            (grid.depth(), grid.rows(), grid.cols()),
+            (self.d, self.plane_plan.m, self.plane_plan.n)
+        );
+        let h = grid.halo();
+        assert!(h >= self.radius);
+        let mut ext = vec![0.0; self.ext_planes() * self.plane_size()];
+        for p in 0..self.ext_planes() {
+            let pz = p + h - self.radius;
+            if pz >= grid.padded_depth() {
+                continue;
+            }
+            let plane2d = grid.padded_plane_as_grid2d(pz);
+            let plane_ext = self.plane_plan.build_ext(&plane2d);
+            ext[p * self.plane_size()..(p + 1) * self.plane_size()].copy_from_slice(&plane_ext);
+        }
+        ext
+    }
+
+    /// Extract the interior into `grid`.
+    pub fn extract_into(&self, ext: &[f64], grid: &mut Grid3D) {
+        let ps = self.plane_size();
+        for z in 0..self.d {
+            let plane = &ext[(z + self.radius) * ps..(z + self.radius + 1) * ps];
+            for x in 0..self.plane_plan.m {
+                for y in 0..self.plane_plan.n {
+                    grid.set(z, x, y, plane[self.plane_plan.ext_idx(x, y)]);
+                }
+            }
+        }
+    }
+
+    /// One application: read `ext_in`, write interior planes of `ext_out`.
+    /// `explicit` must be `Some` iff the variant is explicit (variant I).
+    pub fn run_application(
+        &self,
+        dev: &mut Device,
+        ext_in: BufferId,
+        ext_out: BufferId,
+        explicit: Option<ExplicitBuffers3D>,
+    ) {
+        if self.variant.explicit_global {
+            let bufs = explicit.expect("explicit variant needs scratch buffers");
+            self.run_transform_kernel(dev, ext_in, bufs);
+        } else {
+            assert!(explicit.is_none(), "implicit variant takes no scratch");
+        }
+        let p = &self.plane_plan;
+        let blocks_per_plane = p.num_blocks();
+        let z_blocks = self.d.div_ceil(self.bz);
+        let num_blocks = z_blocks * blocks_per_plane;
+        let ps = self.plane_size();
+        dev.launch(num_blocks, self.shared_len(), |bid, ctx| {
+            let zb = bid / blocks_per_plane;
+            let rem = bid % blocks_per_plane;
+            let bx = rem / p.blocks_g;
+            let bg = rem % p.blocks_g;
+            let rows_here = p.block_rows.min(p.m - bx * p.block_rows);
+            let tile_rows = rows_here + self.nk - 1;
+            let z0 = zb * self.bz;
+            let planes_here = self.bz.min(self.d - z0);
+            // Stage the z-window's input planes once; every output plane
+            // of the block reuses them.
+            for slot in 0..planes_here + self.nk - 1 {
+                match explicit {
+                    Some(bufs) => self.stage_plane_from_global(
+                        ctx,
+                        bufs,
+                        z0 + slot,
+                        self.slot_off[slot],
+                        bx,
+                        bg,
+                        tile_rows,
+                    ),
+                    None => self.scatter_plane(
+                        ctx,
+                        ext_in,
+                        (z0 + slot) * ps,
+                        self.slot_off[slot],
+                        bx,
+                        bg,
+                        tile_rows,
+                    ),
+                }
+            }
+            // Stage weight fragments for the MMA planes (once per block).
+            let mut frags: Vec<(usize, Vec<FragB>, Vec<FragB>)> = Vec::new();
+            for dz in 0..self.nk {
+                if let PlaneKind::Mma(w) = &self.planes[dz] {
+                    let (wa, wb) = self.stage_weights(ctx, w, self.weight_off[dz]);
+                    frags.push((dz, wa, wb));
+                }
+            }
+            for z_local in 0..planes_here {
+                self.compute(ctx, ext_out, z0 + z_local, z_local, bx, bg, rows_here, &frags);
+            }
+        });
+    }
+
+    /// Scatter one extended input plane into the tile pair at `base_off`.
+    #[allow(clippy::too_many_arguments)]
+    fn scatter_plane(
+        &self,
+        ctx: &mut BlockCtx,
+        ext_in: BufferId,
+        plane_base: usize,
+        base_off: usize,
+        bx: usize,
+        bg: usize,
+        tile_rows: usize,
+    ) {
+        let p = &self.plane_plan;
+        let read0 = p.read_col0(bg);
+        let mut gaddrs = [INACTIVE; 32];
+        let mut vals = [0.0f64; 32];
+        let mut a_addrs: Vec<usize> = Vec::with_capacity(32);
+        let mut a_vals: Vec<f64> = Vec::with_capacity(32);
+        let mut b_addrs: Vec<usize> = Vec::with_capacity(32);
+        let mut b_vals: Vec<f64> = Vec::with_capacity(32);
+        for t in 0..tile_rows {
+            let row_base = plane_base + (bx * p.block_rows + t) * p.ext_cols + read0;
+            let mut i = 0usize;
+            while i < p.span_aligned {
+                let lanes = 32.min(p.span_aligned - i);
+                for (l, a) in gaddrs.iter_mut().enumerate() {
+                    *a = if l < lanes { row_base + i + l } else { INACTIVE };
+                }
+                ctx.gmem_read_warp(ext_in, &gaddrs[..lanes], &mut vals[..lanes]);
+                if self.variant.dirty_bits_lut {
+                    ctx.count_int(2 * lanes as u64);
+                } else {
+                    ctx.count_divmod(2 * lanes as u64);
+                    ctx.count_branch(2 * lanes as u64);
+                    ctx.count_int(4 * lanes as u64);
+                }
+                a_addrs.clear();
+                a_vals.clear();
+                b_addrs.clear();
+                b_vals.clear();
+                for l in 0..lanes {
+                    let [a, b] = self.lut.get(t, i + l);
+                    if a != LUT_SKIP {
+                        a_addrs.push(base_off + a as usize);
+                        a_vals.push(vals[l]);
+                    }
+                    if b != LUT_SKIP {
+                        b_addrs.push(base_off + b as usize);
+                        b_vals.push(vals[l]);
+                    }
+                }
+                if !a_addrs.is_empty() {
+                    ctx.smem_store(&a_addrs, &a_vals);
+                }
+                if !b_addrs.is_empty() {
+                    ctx.smem_store(&b_addrs, &b_vals);
+                }
+                i += lanes;
+            }
+        }
+    }
+
+    fn stage_weights(
+        &self,
+        ctx: &mut BlockCtx,
+        w: &WeightMatrices,
+        off: usize,
+    ) -> (Vec<FragB>, Vec<FragB>) {
+        let wa_off = off;
+        let wb_off = off + w.krows * 8;
+        for (o, data) in [(wa_off, &w.a), (wb_off, &w.b)] {
+            let mut i = 0;
+            while i < data.len() {
+                let lanes = 32.min(data.len() - i);
+                let addrs: Vec<usize> = (0..lanes).map(|l| o + i + l).collect();
+                ctx.smem_store(&addrs, &data[i..i + lanes]);
+                i += lanes;
+            }
+        }
+        let chunks = w.krows / 4;
+        (
+            (0..chunks).map(|k| ctx.load_frag_b(wa_off + 4 * k * 8, 8)).collect(),
+            (0..chunks).map(|k| ctx.load_frag_b(wb_off + 4 * k * 8, 8)).collect(),
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn compute(
+        &self,
+        ctx: &mut BlockCtx,
+        ext_out: BufferId,
+        z: usize,
+        z_local: usize,
+        bx: usize,
+        bg: usize,
+        rows_here: usize,
+        frags: &[(usize, Vec<FragB>, Vec<FragB>)],
+    ) {
+        let p = &self.plane_plan;
+        let lay = &p.layout;
+        let nk = self.nk;
+        let ps = self.plane_size();
+        let bands = p.block_groups / 8;
+        let band_width = 8 * (nk + 1);
+        let mut out_vals = vec![0.0f64; band_width];
+        let mut addrs = vec![0usize; 32];
+        let mut lvals = vec![0.0f64; 32];
+        for xr in 0..rows_here {
+            for band in 0..bands {
+                // MMA planes accumulate in one fragment.
+                let mut acc = FragAcc::zero();
+                for (dz, wa, wb) in frags {
+                    let off = self.slot_off[z_local + *dz];
+                    let a_base = off + lay.a_off + band * 8 * lay.stride + nk * xr;
+                    for (k, f) in wa.iter().enumerate() {
+                        let frag = ctx.load_frag_a(a_base + 4 * k, lay.stride);
+                        ctx.dmma(&frag, f, &mut acc);
+                    }
+                    let b_base = off + lay.b_off + band * 8 * lay.stride + nk * xr;
+                    for (k, f) in wb.iter().enumerate() {
+                        let frag = ctx.load_frag_a(b_base + 4 * k, lay.stride);
+                        ctx.dmma(&frag, f, &mut acc);
+                    }
+                }
+                for ga in 0..8 {
+                    for j in 0..=nk {
+                        out_vals[ga * (nk + 1) + j] = acc.get(ga, j);
+                    }
+                }
+                // Scalar (small) planes: CUDA-core taps over the shared
+                // tiles, added into the same results (§4.2 hybrid).
+                let yband = (band * 8) * (nk + 1);
+                for (dz, plane) in self.planes.iter().enumerate() {
+                    let PlaneKind::Scalar(taps) = plane else {
+                        continue;
+                    };
+                    let off = self.slot_off[z_local + dz];
+                    for &(kx, ky, w) in taps {
+                        let t = xr + kx;
+                        let mut i = 0usize;
+                        while i < band_width {
+                            let lanes = 32.min(band_width - i);
+                            for l in 0..lanes {
+                                let c = yband + i + l + ky;
+                                let (in_a, g, col) = self.colmap[c];
+                                let base = if in_a { lay.a_off } else { lay.b_off };
+                                addrs[l] = off + base + g * lay.stride + nk * t + col;
+                            }
+                            ctx.smem_load(&addrs[..lanes], &mut lvals[..lanes]);
+                            ctx.count_fma(lanes as u64);
+                            ctx.count_int(lanes as u64);
+                            for l in 0..lanes {
+                                out_vals[i + l] += w * lvals[l];
+                            }
+                            i += lanes;
+                        }
+                    }
+                }
+                // Write back into the output plane.
+                let x = bx * p.block_rows + xr;
+                let ext_row = x + p.lr;
+                let y0 = (bg * p.block_groups + band * 8) * (nk + 1);
+                let out_plane = (z + self.radius) * ps;
+                let mut i = 0usize;
+                let mut waddrs = [INACTIVE; 32];
+                while i < band_width {
+                    let lanes = 32.min(band_width - i);
+                    let mut any = false;
+                    for l in 0..lanes {
+                        let y = y0 + i + l;
+                        waddrs[l] = if y < p.n {
+                            any = true;
+                            out_plane + ext_row * p.ext_cols + p.lc + y
+                        } else {
+                            INACTIVE
+                        };
+                    }
+                    if any {
+                        ctx.gmem_write_warp(ext_out, &waddrs[..lanes], &out_vals[i..i + lanes]);
+                    }
+                    i += lanes;
+                }
+            }
+        }
+    }
+
+    /// The colmap entry for the scalar path stores the Eq. 5/6 offset for
+    /// input row 0; exposed for tests.
+    pub fn colmap_entry(&self, c: usize) -> (bool, usize, usize) {
+        self.colmap[c]
+    }
+}
+
+/// Simulated periodic halo exchange on an extended 3D array: column wrap,
+/// row wrap (per interior plane), then full-plane wrap so the halo planes
+/// inherit fully wrapped contents.
+pub fn halo_exchange_3d(dev: &mut Device, ext: BufferId, exec: &Exec3D) {
+    let p = &exec.plane_plan;
+    let (d, m, n, r) = (exec.d, p.m, p.n, exec.radius);
+    assert!(d >= r && m >= r && n >= r, "periodic wrap needs interior >= radius");
+    let (lr, lc, cols) = (p.lr, p.lc, p.ext_cols);
+    let ps = exec.plane_size();
+    // Kernel 1: column wrap for every interior (plane, row).
+    dev.launch(d, 64, |z, ctx| {
+        let base = (z + r) * ps;
+        for x in 0..m {
+            let row = base + (x + lr) * cols;
+            let left = ctx.gmem_read_span(ext, row + lc + n - r, r);
+            ctx.gmem_write_span(ext, row + lc - r, &left);
+            let right = ctx.gmem_read_span(ext, row + lc, r);
+            ctx.gmem_write_span(ext, row + lc + n, &right);
+        }
+    });
+    // Kernel 2: row wrap within each interior plane.
+    dev.launch(d, 64, |z, ctx| {
+        let base = (z + r) * ps;
+        for i in 0..r {
+            let vals = ctx.gmem_read_span(ext, base + (m + i) * cols, cols);
+            ctx.gmem_write_span(ext, base + i * cols, &vals);
+            let vals = ctx.gmem_read_span(ext, base + (lr + i) * cols, cols);
+            ctx.gmem_write_span(ext, base + (lr + m + i) * cols, &vals);
+        }
+    });
+    // Kernel 3: full-plane wrap.
+    dev.launch(r, 64, |i, ctx| {
+        let vals = ctx.gmem_read_span(ext, (d + i) * ps, ps);
+        ctx.gmem_write_span(ext, i * ps, &vals);
+        let vals = ctx.gmem_read_span(ext, (r + i) * ps, ps);
+        ctx.gmem_write_span(ext, (r + d + i) * ps, &vals);
+    });
+}
+
+/// Run `apps` applications over a fresh buffer pair.
+pub fn run_3d_applications(dev: &mut Device, exec: &Exec3D, ext0: &[f64], apps: usize) -> Vec<f64> {
+    run_3d_applications_bc(dev, exec, ext0, apps, stencil_core::Boundary::Dirichlet)
+}
+
+/// [`run_3d_applications`] with an explicit boundary condition.
+pub fn run_3d_applications_bc(
+    dev: &mut Device,
+    exec: &Exec3D,
+    ext0: &[f64],
+    apps: usize,
+    boundary: stencil_core::Boundary,
+) -> Vec<f64> {
+    let a = dev.alloc_from(ext0);
+    let b = dev.alloc_from(ext0);
+    let scratch = exec
+        .variant
+        .explicit_global
+        .then(|| exec.alloc_explicit(dev));
+    let (mut cur, mut next) = (a, b);
+    for _ in 0..apps {
+        if boundary == stencil_core::Boundary::Periodic {
+            halo_exchange_3d(dev, cur, exec);
+        }
+        exec.run_application(dev, cur, next, scratch);
+        std::mem::swap(&mut cur, &mut next);
+    }
+    dev.download(cur).to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_core::reference::run3d;
+    use stencil_core::{assert_close_default, Kernel3D};
+
+    fn check(kernel: &Kernel3D, dims: (usize, usize, usize), apps: usize, variant: VariantConfig) {
+        let (d, m, n) = dims;
+        let mut grid = Grid3D::new(d, m, n, kernel.radius());
+        grid.fill_random(5);
+        let exec = Exec3D::new(kernel, d, m, n, variant);
+        let mut dev = Device::a100();
+        let ext0 = exec.build_ext(&grid);
+        let ext = run_3d_applications(&mut dev, &exec, &ext0, apps);
+        let mut got = Grid3D::new(d, m, n, kernel.radius());
+        exec.extract_into(&ext, &mut got);
+        let want = run3d(&grid, kernel, apps);
+        assert_close_default(&got.interior(), &want.interior());
+    }
+
+    #[test]
+    fn box3d27p_matches_reference() {
+        check(
+            &Kernel3D::box_uniform(1),
+            (12, 20, 40),
+            2,
+            VariantConfig::conv_stencil(),
+        );
+    }
+
+    #[test]
+    fn heat3d_star_matches_reference_with_hybrid_planes() {
+        let k = Kernel3D::star(0.4, &[0.1]);
+        check(&k, (10, 16, 70), 2, VariantConfig::conv_stencil());
+    }
+
+    #[test]
+    fn heat3d_uses_both_tcu_and_cuda_paths() {
+        // §4.2: small planes on CUDA cores, the center plane on TCUs.
+        let k = Kernel3D::star(0.4, &[0.1]);
+        let exec = Exec3D::new(&k, 8, 8, 64, VariantConfig::conv_stencil());
+        let mut dev = Device::a100();
+        let grid = Grid3D::new(8, 8, 64, 1);
+        let ext0 = exec.build_ext(&grid);
+        run_3d_applications(&mut dev, &exec, &ext0, 1);
+        assert!(dev.counters.dmma_ops > 0, "center plane must use MMAs");
+        assert!(dev.counters.cuda_fma_ops > 0, "small planes must use CUDA cores");
+    }
+
+    #[test]
+    fn box3d_mma_count_is_three_planes_of_2d() {
+        let k = Kernel3D::box_uniform(1); // nk = 3
+        let (d, m, n) = (8, 16, 64); // divisible by block 8 x 64
+        let exec = Exec3D::new(&k, d, m, n, VariantConfig::conv_stencil());
+        let mut dev = Device::a100();
+        let grid = Grid3D::new(d, m, n, 1);
+        let ext0 = exec.build_ext(&grid);
+        run_3d_applications(&mut dev, &exec, &ext0, 1);
+        // Per output plane: mn/(8*4) tessellations x 2*ceil(9/4)=6 MMAs,
+        // once per input plane (3); times d output planes.
+        let per_plane = (m as u64 * n as u64) / 32 * 6;
+        assert_eq!(dev.counters.dmma_ops, 3 * per_plane * d as u64);
+    }
+
+    #[test]
+    fn cuda_variant_runs_all_planes_scalar() {
+        let k = Kernel3D::box_uniform(1);
+        let exec = Exec3D::new(&k, 6, 8, 32, VariantConfig::implicit_cuda());
+        let mut dev = Device::a100();
+        let mut grid = Grid3D::new(6, 8, 32, 1);
+        grid.fill_random(3);
+        let ext0 = exec.build_ext(&grid);
+        let ext = run_3d_applications(&mut dev, &exec, &ext0, 1);
+        assert_eq!(dev.counters.dmma_ops, 0);
+        assert!(dev.counters.cuda_fma_ops > 0);
+        let mut got = Grid3D::new(6, 8, 32, 1);
+        exec.extract_into(&ext, &mut got);
+        let want = run3d(&grid, &k, 1);
+        assert_close_default(&got.interior(), &want.interior());
+    }
+
+    #[test]
+    fn all_breakdown_variants_agree_on_3d() {
+        let k = Kernel3D::box_uniform(1);
+        let (d, m, n) = (6, 10, 40);
+        let mut grid = Grid3D::new(d, m, n, 1);
+        grid.fill_random(21);
+        let want = run3d(&grid, &k, 1);
+        for (name, variant) in crate::variants::VariantConfig::breakdown() {
+            let exec = Exec3D::new(&k, d, m, n, variant);
+            let mut dev = Device::a100();
+            let ext0 = exec.build_ext(&grid);
+            let ext = run_3d_applications(&mut dev, &exec, &ext0, 1);
+            let mut got = Grid3D::new(d, m, n, 1);
+            exec.extract_into(&ext, &mut got);
+            assert_close_default(&got.interior(), &want.interior());
+            if variant.explicit_global {
+                assert_eq!(dev.launch_stats.kernel_launches, 2, "{name}");
+                assert!(
+                    dev.counters.uncoalesced_global_access_pct() > 5.0,
+                    "{name}: explicit transform should scatter"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn awkward_dimensions_still_match() {
+        let k = Kernel3D::star(0.5, &[1.0 / 12.0]);
+        check(&k, (5, 11, 37), 2, VariantConfig::conv_stencil());
+    }
+}

@@ -1,0 +1,188 @@
+//! The im2row transform (§2.2) — the GEMM-based-convolution layout
+//! ConvStencil improves upon. Kept as an executable baseline: it feeds the
+//! cuDNN/AMOS analogs and the Table 3 memory measurements.
+//!
+//! For an `M x N` padded input and an `n_k x n_k` kernel, each *valid*
+//! output point `(x, y)` (top-left origin) yields one row of `n_k²`
+//! elements: the kernel-sized patch at `(x, y)` unrolled row-major.
+
+use stencil_core::{Grid2D, Kernel1D, Kernel2D};
+
+/// Dense im2row matrix plus its geometry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Im2Row {
+    /// `rows x cols`, row-major.
+    pub data: Vec<f64>,
+    pub rows: usize,
+    pub cols: usize,
+    /// Output width (valid-conv columns); `rows = out_rows * out_cols`.
+    pub out_rows: usize,
+    pub out_cols: usize,
+}
+
+impl Im2Row {
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+}
+
+/// Build the im2row matrix of a padded 2D array (`padded`, row-major,
+/// `prows x pcols`) for kernel edge `nk`. One row per valid output point.
+pub fn im2row_2d(padded: &[f64], prows: usize, pcols: usize, nk: usize) -> Im2Row {
+    assert_eq!(padded.len(), prows * pcols);
+    assert!(prows >= nk && pcols >= nk, "input smaller than kernel");
+    let out_rows = prows - nk + 1;
+    let out_cols = pcols - nk + 1;
+    let rows = out_rows * out_cols;
+    let cols = nk * nk;
+    let mut data = Vec::with_capacity(rows * cols);
+    for x in 0..out_rows {
+        for y in 0..out_cols {
+            for kx in 0..nk {
+                let base = (x + kx) * pcols + y;
+                data.extend_from_slice(&padded[base..base + nk]);
+            }
+        }
+    }
+    Im2Row {
+        data,
+        rows,
+        cols,
+        out_rows,
+        out_cols,
+    }
+}
+
+/// Build the im2row matrix for a [`Grid2D`], covering exactly the grid's
+/// interior output points (uses radius `r = (nk-1)/2` of halo).
+pub fn im2row_grid2d(grid: &Grid2D, nk: usize) -> Im2Row {
+    let r = (nk - 1) / 2;
+    assert!(grid.halo() >= r, "halo too small");
+    // Restrict the padded array to the rows/cols the valid conv needs so
+    // the output region is exactly the interior.
+    let (m, n, h) = (grid.rows(), grid.cols(), grid.halo());
+    let prows = m + nk - 1;
+    let pcols = n + nk - 1;
+    let mut window = Vec::with_capacity(prows * pcols);
+    let full_pcols = grid.padded_cols();
+    for px in (h - r)..(h - r + prows) {
+        let base = px * full_pcols + (h - r);
+        window.extend_from_slice(&grid.padded()[base..base + pcols]);
+    }
+    im2row_2d(&window, prows, pcols, nk)
+}
+
+/// Multiply the im2row matrix by the kernel unrolled as a column vector —
+/// the matrix-vector product GEMM-based convolution performs. Returns the
+/// outputs row-major (`out_rows x out_cols`).
+pub fn im2row_matvec(m: &Im2Row, kernel: &Kernel2D) -> Vec<f64> {
+    assert_eq!(m.cols, kernel.nk() * kernel.nk());
+    let w = kernel.weights();
+    m.data
+        .chunks_exact(m.cols)
+        .map(|row| row.iter().zip(w).map(|(a, b)| a * b).sum())
+        .collect()
+}
+
+/// 1D im2row: one row of `nk` elements per valid output point.
+pub fn im2row_1d(padded: &[f64], nk: usize) -> Im2Row {
+    assert!(padded.len() >= nk);
+    let rows = padded.len() - nk + 1;
+    let mut data = Vec::with_capacity(rows * nk);
+    for x in 0..rows {
+        data.extend_from_slice(&padded[x..x + nk]);
+    }
+    Im2Row {
+        data,
+        rows,
+        cols: nk,
+        out_rows: 1,
+        out_cols: rows,
+    }
+}
+
+/// 1D matrix-vector product.
+pub fn im2row_matvec_1d(m: &Im2Row, kernel: &Kernel1D) -> Vec<f64> {
+    assert_eq!(m.cols, kernel.nk());
+    let w = kernel.weights();
+    m.data
+        .chunks_exact(m.cols)
+        .map(|row| row.iter().zip(w).map(|(a, b)| a * b).sum())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencil_core::reference::run2d;
+    use stencil_core::{assert_close_default, Grid2D, Kernel2D};
+
+    #[test]
+    fn im2row_dims_match_eq_9_10() {
+        // 10x10 input, 3x3 kernel: (10-2)(10-2) x 9 = 64 x 9... the paper's
+        // §2.3 example speaks of a 100x9 matrix for same-size output; with
+        // valid outputs it is (m-2)(n-2). Both are n_k² columns.
+        let padded = vec![0.0; 100];
+        let m = im2row_2d(&padded, 10, 10, 3);
+        assert_eq!(m.cols, 9);
+        assert_eq!(m.rows, 64);
+    }
+
+    #[test]
+    fn patch_unrolling_is_row_major() {
+        let padded: Vec<f64> = (0..20).map(|i| i as f64).collect(); // 4x5
+        let m = im2row_2d(&padded, 4, 5, 3);
+        // First output point (0,0): rows 0..3, cols 0..3 of the input.
+        let expect = [0.0, 1.0, 2.0, 5.0, 6.0, 7.0, 10.0, 11.0, 12.0];
+        assert_eq!(&m.data[..9], &expect);
+        // Output point (1,2): rows 1..4, cols 2..5.
+        let r = m.out_cols + 2; // row index of output (1, 2)
+        let expect2 = [7.0, 8.0, 9.0, 12.0, 13.0, 14.0, 17.0, 18.0, 19.0];
+        assert_eq!(&m.data[r * 9..(r + 1) * 9], &expect2);
+    }
+
+    #[test]
+    fn matvec_equals_reference_stencil() {
+        let mut g = Grid2D::new(7, 9, 2);
+        g.fill_random(21);
+        let k = Kernel2D::box_uniform(2);
+        let m = im2row_grid2d(&g, k.nk());
+        assert_eq!(m.out_rows, 7);
+        assert_eq!(m.out_cols, 9);
+        let got = im2row_matvec(&m, &k);
+        let want = run2d(&g, &k, 1).interior();
+        assert_close_default(&got, &want);
+    }
+
+    #[test]
+    fn matvec_equals_reference_for_star_kernel() {
+        let mut g = Grid2D::new(6, 6, 3);
+        g.fill_random(4);
+        let k = Kernel2D::star(0.4, &[0.1, 0.03, 0.02]);
+        let m = im2row_grid2d(&g, k.nk());
+        let got = im2row_matvec(&m, &k);
+        let want = run2d(&g, &k, 1).interior();
+        assert_close_default(&got, &want);
+    }
+
+    #[test]
+    fn im2row_1d_roundtrip() {
+        let padded: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let m = im2row_1d(&padded, 3);
+        assert_eq!(m.rows, 8);
+        assert_eq!(&m.data[..3], &[0.0, 1.0, 2.0]);
+        let k = stencil_core::Kernel1D::new(vec![1.0, 2.0, 3.0]);
+        let out = im2row_matvec_1d(&m, &k);
+        assert_eq!(out[0], 0.0 + 2.0 + 6.0);
+    }
+
+    #[test]
+    fn memory_expansion_is_nk_squared_for_dense_kernels() {
+        let padded = vec![1.0; 64 * 64];
+        let m = im2row_2d(&padded, 64, 64, 7);
+        let factor = m.data.len() as f64 / padded.len() as f64;
+        // (58*58*49) / (64*64) ≈ 40 — approaches 49 as the grid grows.
+        assert!(factor > 35.0 && factor < 49.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! # convstencil — the paper's primary contribution
+//!
+//! Transforms stencil computation into Tensor Core matrix multiplication:
+//!
+//! * [`stencil2row`] — the memory-efficient layout transformation (Eq. 5–8).
+//! * [`im2row`] — the GEMM-based-convolution layout it replaces (§2.2).
+//! * [`weights`] — dual-tessellation weight matrices A & B (§3.3, Fig. 3).
+//! * [`tessellation`] — dual tessellation, host-side executable spec.
+//! * [`model`] — the closed-form analysis (Eq. 7–15, Table 3).
+//! * [`numerics`] — FP64 accumulation-order / FP16-precision study (an
+//!   extension quantifying the paper's FP64 motivation).
+
+// Simulated warp code addresses lanes by index across several parallel
+// arrays (addrs/vals/sums); iterator zips would obscure the lane model.
+#![allow(clippy::needless_range_loop)]
+
+pub mod api;
+pub mod exec1d;
+pub mod exec2d;
+pub mod exec3d;
+pub mod im2row;
+pub mod model;
+pub mod numerics;
+pub mod plan;
+pub mod stencil2row;
+pub mod tessellation;
+pub mod variants;
+pub mod weights;
+
+pub use api::{ConvStencil1D, ConvStencil2D, ConvStencil3D, RunReport, MAX_NK};
+pub use exec1d::Exec1D;
+pub use exec2d::Exec2D;
+pub use exec3d::Exec3D;
+pub use plan::{Plan2D, ScatterLut};
+pub use variants::VariantConfig;
+pub use weights::WeightMatrices;

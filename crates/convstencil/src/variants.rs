@@ -1,0 +1,133 @@
+//! Optimization-variant configuration for the Fig. 6 performance
+//! breakdown.
+//!
+//! The paper ablates ConvStencil into five cumulative variants:
+//!
+//! | | transform | compute | padding | dirty bits + LUT |
+//! |---|---|---|---|---|
+//! | I   | explicit (global) | CUDA cores | – | – |
+//! | II  | implicit (shared) | CUDA cores | – | – |
+//! | III | implicit | Tensor Cores | – | – |
+//! | IV  | implicit | Tensor Cores | yes | – |
+//! | V   | implicit | Tensor Cores | yes | yes (= ConvStencil) |
+
+use serde::{Deserialize, Serialize};
+
+/// Which optimizations are active in a pipeline run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VariantConfig {
+    /// Materialize the stencil2row matrices in global memory (variant I)
+    /// instead of building tiles implicitly in shared memory.
+    pub explicit_global: bool,
+    /// Compute with Tensor Core MMAs; otherwise CUDA-core dot products.
+    pub use_tcu: bool,
+    /// Pad shared-memory row strides to remove load bank conflicts.
+    pub padding: bool,
+    /// Branch-free scatter through a host-precomputed lookup table, with
+    /// unused elements dumped into the padding area (dirty bits).
+    /// Without it, the scatter pays integer div/mod address computations
+    /// and per-element conditional branches.
+    pub dirty_bits_lut: bool,
+}
+
+impl VariantConfig {
+    /// Variant I: explicit stencil2row + CUDA cores.
+    pub fn explicit_cuda() -> Self {
+        Self {
+            explicit_global: true,
+            use_tcu: false,
+            padding: false,
+            dirty_bits_lut: false,
+        }
+    }
+
+    /// Variant II: implicit stencil2row + CUDA cores.
+    pub fn implicit_cuda() -> Self {
+        Self {
+            explicit_global: false,
+            use_tcu: false,
+            padding: false,
+            dirty_bits_lut: false,
+        }
+    }
+
+    /// Variant III: implicit stencil2row + Tensor Cores.
+    pub fn implicit_tcu() -> Self {
+        Self {
+            use_tcu: true,
+            ..Self::implicit_cuda()
+        }
+    }
+
+    /// Variant IV: variant III plus bank-conflict padding.
+    pub fn implicit_tcu_padded() -> Self {
+        Self {
+            padding: true,
+            ..Self::implicit_tcu()
+        }
+    }
+
+    /// Variant V: full ConvStencil (padding + dirty bits + LUT).
+    pub fn conv_stencil() -> Self {
+        Self {
+            dirty_bits_lut: true,
+            ..Self::implicit_tcu_padded()
+        }
+    }
+
+    /// The Fig. 6 progression, in order.
+    pub fn breakdown() -> [(&'static str, VariantConfig); 5] {
+        [
+            ("I: explicit stencil2row + CUDA cores", Self::explicit_cuda()),
+            ("II: implicit stencil2row + CUDA cores", Self::implicit_cuda()),
+            ("III: implicit stencil2row + Tensor Cores", Self::implicit_tcu()),
+            ("IV: III + padding", Self::implicit_tcu_padded()),
+            ("V: ConvStencil (IV + dirty bits padding)", Self::conv_stencil()),
+        ]
+    }
+
+    /// Roman-numeral label used in reports.
+    pub fn label(&self) -> &'static str {
+        match (
+            self.explicit_global,
+            self.use_tcu,
+            self.padding,
+            self.dirty_bits_lut,
+        ) {
+            (true, false, _, _) => "I",
+            (false, false, _, _) => "II",
+            (false, true, false, _) => "III",
+            (false, true, true, false) => "IV",
+            (false, true, true, true) => "V",
+            _ => "custom",
+        }
+    }
+}
+
+impl Default for VariantConfig {
+    fn default() -> Self {
+        Self::conv_stencil()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_is_cumulative() {
+        let v = VariantConfig::breakdown();
+        assert!(v[0].1.explicit_global && !v[1].1.explicit_global);
+        assert!(!v[1].1.use_tcu && v[2].1.use_tcu);
+        assert!(!v[2].1.padding && v[3].1.padding);
+        assert!(!v[3].1.dirty_bits_lut && v[4].1.dirty_bits_lut);
+    }
+
+    #[test]
+    fn labels() {
+        for (name, v) in VariantConfig::breakdown() {
+            assert!(name.starts_with(v.label()), "{name} vs {}", v.label());
+        }
+        assert_eq!(VariantConfig::default().label(), "V");
+    }
+}

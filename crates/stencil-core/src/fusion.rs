@@ -1,0 +1,239 @@
+//! Temporal kernel fusion (paper §3.3, "Kernel Fusion").
+//!
+//! Applying a linear stencil kernel `k` for `t` consecutive time steps (on
+//! an unbounded grid) is equivalent to applying the single kernel
+//! `k ∗ k ∗ … ∗ k` (`t`-fold self-convolution) once; its radius is
+//! `t · r`. ConvStencil uses this to densify small kernels: Box-2D9P
+//! fused twice more (3 applications total) becomes a 49-weight kernel that
+//! fills the 8-wide FP64 Tensor Core fragment (Fig. 4).
+//!
+//! Fusing star kernels produces kernels with dense (diamond) support —
+//! they stop being stars, which is fine: ConvStencil treats every kernel
+//! through its dense `n_k x n_k` bounding box.
+
+use crate::kernel::{Kernel1D, Kernel2D, Kernel3D};
+
+/// Full (zero-padded) convolution of two 1D weight vectors.
+fn convolve1d(a: &[f64], b: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0; a.len() + b.len() - 1];
+    for (i, &va) in a.iter().enumerate() {
+        for (j, &vb) in b.iter().enumerate() {
+            out[i + j] += va * vb;
+        }
+    }
+    out
+}
+
+/// Compose two 1D kernels: `compose1d(a, b)` applied once ≡ `b` then `a`
+/// (order is irrelevant for convolution).
+pub fn compose1d(a: &Kernel1D, b: &Kernel1D) -> Kernel1D {
+    Kernel1D::new(convolve1d(a.weights(), b.weights()))
+}
+
+/// `t`-fold temporal fusion of a 1D kernel (`t >= 1`; `t = 1` is `k`).
+pub fn fuse1d(k: &Kernel1D, t: usize) -> Kernel1D {
+    assert!(t >= 1, "fusion degree must be at least 1");
+    let mut acc = k.clone();
+    for _ in 1..t {
+        acc = compose1d(&acc, k);
+    }
+    acc
+}
+
+/// Full 2D convolution of dense weight grids.
+fn convolve2d(a: &[f64], an: usize, b: &[f64], bn: usize) -> Vec<f64> {
+    let on = an + bn - 1;
+    let mut out = vec![0.0; on * on];
+    for ax in 0..an {
+        for ay in 0..an {
+            let va = a[ax * an + ay];
+            if va == 0.0 {
+                continue;
+            }
+            for bx in 0..bn {
+                for by in 0..bn {
+                    out[(ax + bx) * on + (ay + by)] += va * b[bx * bn + by];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Compose two 2D kernels.
+pub fn compose2d(a: &Kernel2D, b: &Kernel2D) -> Kernel2D {
+    let weights = convolve2d(a.weights(), a.nk(), b.weights(), b.nk());
+    Kernel2D::new(a.radius() + b.radius(), weights)
+}
+
+/// `t`-fold temporal fusion of a 2D kernel.
+pub fn fuse2d(k: &Kernel2D, t: usize) -> Kernel2D {
+    assert!(t >= 1, "fusion degree must be at least 1");
+    let mut acc = k.clone();
+    for _ in 1..t {
+        acc = compose2d(&acc, k);
+    }
+    acc
+}
+
+/// Full 3D convolution of dense weight cubes.
+fn convolve3d(a: &[f64], an: usize, b: &[f64], bn: usize) -> Vec<f64> {
+    let on = an + bn - 1;
+    let mut out = vec![0.0; on * on * on];
+    for az in 0..an {
+        for ax in 0..an {
+            for ay in 0..an {
+                let va = a[(az * an + ax) * an + ay];
+                if va == 0.0 {
+                    continue;
+                }
+                for bz in 0..bn {
+                    for bx in 0..bn {
+                        for by in 0..bn {
+                            out[((az + bz) * on + (ax + bx)) * on + (ay + by)] +=
+                                va * b[(bz * bn + bx) * bn + by];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Compose two 3D kernels.
+pub fn compose3d(a: &Kernel3D, b: &Kernel3D) -> Kernel3D {
+    let weights = convolve3d(a.weights(), a.nk(), b.weights(), b.nk());
+    Kernel3D::new(a.radius() + b.radius(), weights)
+}
+
+/// `t`-fold temporal fusion of a 3D kernel.
+pub fn fuse3d(k: &Kernel3D, t: usize) -> Kernel3D {
+    assert!(t >= 1, "fusion degree must be at least 1");
+    let mut acc = k.clone();
+    for _ in 1..t {
+        acc = compose3d(&acc, k);
+    }
+    acc
+}
+
+/// The fusion degree ConvStencil picks for a kernel of radius `r` in 1D/2D:
+/// the largest `t` with fused edge length `t·2r + 1 <= max_nk`
+/// (`max_nk = 7` fills the A100 FP64 fragment: 7 weight columns + 1 zero
+/// column, §3.3). Always at least 1.
+pub fn auto_fusion_degree(radius: usize, max_nk: usize) -> usize {
+    if radius == 0 {
+        return 1;
+    }
+    let max_r = (max_nk.saturating_sub(1)) / 2;
+    (max_r / radius).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{Grid1D, Grid2D, Grid3D};
+    use crate::reference::{run1d_valid, run2d_valid, run3d_valid};
+
+    #[test]
+    fn fuse1d_radius_grows_linearly() {
+        let k = Kernel1D::new(vec![0.25, 0.5, 0.25]);
+        assert_eq!(fuse1d(&k, 1).radius(), 1);
+        assert_eq!(fuse1d(&k, 3).radius(), 3);
+        assert_eq!(fuse1d(&k, 3).nk(), 7);
+    }
+
+    #[test]
+    fn fused_1d_equals_t_exact_steps() {
+        let k = Kernel1D::new(vec![0.2, 0.5, 0.3]);
+        let t = 3;
+        let mut g = Grid1D::new(32, t);
+        g.fill_random(5);
+        let stepped = run1d_valid(&g, &k, t);
+        let fused = run1d_valid(&g, &fuse1d(&k, t), 1);
+        for i in 0..32 {
+            assert!(
+                (stepped.get(i) - fused.get(i)).abs() < 1e-12,
+                "mismatch at {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn box2d9p_fused_twice_more_is_49_weights() {
+        // The paper's Fig. 4: Box-2D9P -> (2x fusion) -> Box-2D49P.
+        let k = Kernel2D::box_uniform(1);
+        let fused = fuse2d(&k, 3);
+        assert_eq!(fused.nk(), 7);
+        assert_eq!(fused.weights().len(), 49);
+        // Sum-one kernels stay sum-one under fusion.
+        assert!((fused.sum() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fused_2d_equals_t_exact_steps() {
+        let k = Kernel2D::star(0.5, &[0.125]);
+        let t = 3;
+        let mut g = Grid2D::new(12, 12, t);
+        g.fill_random(11);
+        let stepped = run2d_valid(&g, &k, t);
+        let fused = run2d_valid(&g, &fuse2d(&k, t), 1);
+        for x in 0..12 {
+            for y in 0..12 {
+                assert!(
+                    (stepped.get(x, y) - fused.get(x, y)).abs() < 1e-12,
+                    "mismatch at ({x},{y})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_star_is_no_longer_a_star() {
+        let k = Kernel2D::star(0.5, &[0.125]);
+        assert!(k.is_star());
+        assert!(!fuse2d(&k, 2).is_star());
+    }
+
+    #[test]
+    fn fused_3d_equals_t_exact_steps() {
+        let k = Kernel3D::star(0.4, &[0.1]);
+        let t = 2;
+        let mut g = Grid3D::new(8, 8, 8, t);
+        g.fill_random(13);
+        let stepped = run3d_valid(&g, &k, t);
+        let fused = run3d_valid(&g, &fuse3d(&k, t), 1);
+        for z in 0..8 {
+            for x in 0..8 {
+                for y in 0..8 {
+                    assert!(
+                        (stepped.get(z, x, y) - fused.get(z, x, y)).abs() < 1e-12,
+                        "mismatch at ({z},{x},{y})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn composition_is_commutative() {
+        let a = Kernel2D::from_fn(1, |dx, dy| (dx + 2 * dy + 3) as f64 * 0.01);
+        let b = Kernel2D::box_uniform(2);
+        let ab = compose2d(&a, &b);
+        let ba = compose2d(&b, &a);
+        for (x, y) in ab.weights().iter().zip(ba.weights()) {
+            assert!((x - y).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn auto_fusion_degrees_match_paper_choices() {
+        // r=1 kernels (Heat-1D, Heat-2D, Box-2D9P) fuse 3x to n_k = 7.
+        assert_eq!(auto_fusion_degree(1, 7), 3);
+        // r=2 (1D5P) cannot fuse without exceeding n_k = 7... 2*2+1=5 ok, t=1.
+        assert_eq!(auto_fusion_degree(2, 7), 1);
+        // r=3 (Star-2D13P, Box-2D49P) already fills the fragment.
+        assert_eq!(auto_fusion_degree(3, 7), 1);
+        assert_eq!(auto_fusion_degree(0, 7), 1);
+    }
+}

@@ -1,0 +1,342 @@
+//! Stencil kernels (the "shape" of §2.1): star and box patterns of a given
+//! radius, plus arbitrary custom weights.
+//!
+//! A kernel of radius `r` has edge length `n_k = 2r + 1` (the paper's
+//! `n_kernel`). Weights are stored dense row-major over the full
+//! `n_k x n_k` (or `n_k`, or `n_k³`) support; star kernels simply carry
+//! zeros off-axis — exactly how ConvStencil treats them (§5.1 evaluates
+//! Star-2D13P through the same 7x7 machinery as Box-2D49P).
+
+use serde::{Deserialize, Serialize};
+
+/// 1D kernel: `2r + 1` weights.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Kernel1D {
+    radius: usize,
+    weights: Vec<f64>,
+}
+
+impl Kernel1D {
+    /// Build from explicit weights; `weights.len()` must be odd.
+    pub fn new(weights: Vec<f64>) -> Self {
+        assert!(weights.len() % 2 == 1, "kernel length must be odd");
+        Self {
+            radius: weights.len() / 2,
+            weights,
+        }
+    }
+
+    pub fn radius(&self) -> usize {
+        self.radius
+    }
+
+    /// Edge length `n_k = 2r + 1`.
+    pub fn nk(&self) -> usize {
+        2 * self.radius + 1
+    }
+
+    /// Weight at signed offset `di` in `[-r, r]`.
+    pub fn weight(&self, di: isize) -> f64 {
+        self.weights[(di + self.radius as isize) as usize]
+    }
+
+    /// Flat weights, offset `-r` first.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Number of non-zero weights.
+    pub fn points(&self) -> usize {
+        self.weights.iter().filter(|&&w| w != 0.0).count()
+    }
+
+    pub fn sum(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+}
+
+/// 2D kernel: `(2r + 1)²` dense weights, row-major, offset (-r, -r) first.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Kernel2D {
+    radius: usize,
+    weights: Vec<f64>,
+}
+
+impl Kernel2D {
+    pub fn new(radius: usize, weights: Vec<f64>) -> Self {
+        let nk = 2 * radius + 1;
+        assert_eq!(weights.len(), nk * nk, "need (2r+1)^2 weights");
+        Self { radius, weights }
+    }
+
+    /// Build from a function of signed offsets (dx = row, dy = col).
+    pub fn from_fn(radius: usize, mut f: impl FnMut(isize, isize) -> f64) -> Self {
+        let r = radius as isize;
+        let mut weights = Vec::with_capacity((2 * radius + 1).pow(2));
+        for dx in -r..=r {
+            for dy in -r..=r {
+                weights.push(f(dx, dy));
+            }
+        }
+        Self { radius, weights }
+    }
+
+    /// Uniform box kernel summing to 1.
+    pub fn box_uniform(radius: usize) -> Self {
+        let nk = 2 * radius + 1;
+        let w = 1.0 / (nk * nk) as f64;
+        Self {
+            radius,
+            weights: vec![w; nk * nk],
+        }
+    }
+
+    /// Star kernel: `axis[d-1]` is the weight at axis distance `d`
+    /// (same in all four directions), `center` at the middle.
+    /// Sums to `center + 4 * axis.iter().sum()`.
+    pub fn star(center: f64, axis: &[f64]) -> Self {
+        let radius = axis.len();
+        Self::from_fn(radius, |dx, dy| {
+            if dx == 0 && dy == 0 {
+                center
+            } else if dx == 0 {
+                axis[(dy.unsigned_abs()) - 1]
+            } else if dy == 0 {
+                axis[(dx.unsigned_abs()) - 1]
+            } else {
+                0.0
+            }
+        })
+    }
+
+    pub fn radius(&self) -> usize {
+        self.radius
+    }
+
+    pub fn nk(&self) -> usize {
+        2 * self.radius + 1
+    }
+
+    /// Weight at signed offsets (dx, dy), each in `[-r, r]`.
+    #[inline]
+    pub fn weight(&self, dx: isize, dy: isize) -> f64 {
+        let r = self.radius as isize;
+        self.weights[((dx + r) * (2 * r + 1) + (dy + r)) as usize]
+    }
+
+    /// Weight by top-left-origin kernel coordinates (kx, ky) in `[0, n_k)`,
+    /// i.e. `weight(kx - r, ky - r)` — the indexing the stencil2row /
+    /// weight-matrix construction uses.
+    #[inline]
+    pub fn weight_tl(&self, kx: usize, ky: usize) -> f64 {
+        self.weights[kx * self.nk() + ky]
+    }
+
+    /// Flat dense weights, row-major, offset (-r, -r) first.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Number of non-zero weights ("points" of the shape).
+    pub fn points(&self) -> usize {
+        self.weights.iter().filter(|&&w| w != 0.0).count()
+    }
+
+    /// True if all non-zero weights lie on the two axes.
+    pub fn is_star(&self) -> bool {
+        let r = self.radius as isize;
+        for dx in -r..=r {
+            for dy in -r..=r {
+                if dx != 0 && dy != 0 && self.weight(dx, dy) != 0.0 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    pub fn sum(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+}
+
+/// 3D kernel: `(2r + 1)³` dense weights, z-major then row-major.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Kernel3D {
+    radius: usize,
+    weights: Vec<f64>,
+}
+
+impl Kernel3D {
+    pub fn new(radius: usize, weights: Vec<f64>) -> Self {
+        let nk = 2 * radius + 1;
+        assert_eq!(weights.len(), nk * nk * nk, "need (2r+1)^3 weights");
+        Self { radius, weights }
+    }
+
+    pub fn from_fn(radius: usize, mut f: impl FnMut(isize, isize, isize) -> f64) -> Self {
+        let r = radius as isize;
+        let mut weights = Vec::with_capacity((2 * radius + 1).pow(3));
+        for dz in -r..=r {
+            for dx in -r..=r {
+                for dy in -r..=r {
+                    weights.push(f(dz, dx, dy));
+                }
+            }
+        }
+        Self { radius, weights }
+    }
+
+    pub fn box_uniform(radius: usize) -> Self {
+        let nk = 2 * radius + 1;
+        let w = 1.0 / (nk * nk * nk) as f64;
+        Self {
+            radius,
+            weights: vec![w; nk * nk * nk],
+        }
+    }
+
+    /// 3D star: non-zero only along the three axes.
+    pub fn star(center: f64, axis: &[f64]) -> Self {
+        let radius = axis.len();
+        Self::from_fn(radius, |dz, dx, dy| {
+            let on_axes = [dz, dx, dy].iter().filter(|&&d| d != 0).count();
+            if on_axes == 0 {
+                center
+            } else if on_axes == 1 {
+                let d = dz.unsigned_abs() + dx.unsigned_abs() + dy.unsigned_abs();
+                axis[d - 1]
+            } else {
+                0.0
+            }
+        })
+    }
+
+    pub fn radius(&self) -> usize {
+        self.radius
+    }
+
+    pub fn nk(&self) -> usize {
+        2 * self.radius + 1
+    }
+
+    #[inline]
+    pub fn weight(&self, dz: isize, dx: isize, dy: isize) -> f64 {
+        let r = self.radius as isize;
+        let nk = 2 * r + 1;
+        self.weights[(((dz + r) * nk + (dx + r)) * nk + (dy + r)) as usize]
+    }
+
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    pub fn points(&self) -> usize {
+        self.weights.iter().filter(|&&w| w != 0.0).count()
+    }
+
+    pub fn is_star(&self) -> bool {
+        let r = self.radius as isize;
+        for dz in -r..=r {
+            for dx in -r..=r {
+                for dy in -r..=r {
+                    let off_axis = [dz, dx, dy].iter().filter(|&&d| d != 0).count() > 1;
+                    if off_axis && self.weight(dz, dx, dy) != 0.0 {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// The 2D kernel of the z-plane at signed offset `dz` — the paper's
+    /// §4.2 decomposition: a 3D stencil is a sum over planes of 2D
+    /// stencils with different weights.
+    pub fn plane(&self, dz: isize) -> Kernel2D {
+        Kernel2D::from_fn(self.radius, |dx, dy| self.weight(dz, dx, dy))
+    }
+
+    pub fn sum(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel1d_weight_indexing() {
+        let k = Kernel1D::new(vec![0.25, 0.5, 0.25]);
+        assert_eq!(k.radius(), 1);
+        assert_eq!(k.nk(), 3);
+        assert_eq!(k.weight(-1), 0.25);
+        assert_eq!(k.weight(0), 0.5);
+        assert_eq!(k.points(), 3);
+    }
+
+    #[test]
+    fn box2d_uniform_sums_to_one() {
+        let k = Kernel2D::box_uniform(3);
+        assert_eq!(k.nk(), 7);
+        assert!((k.sum() - 1.0).abs() < 1e-12);
+        assert_eq!(k.points(), 49);
+        assert!(!k.is_star());
+    }
+
+    #[test]
+    fn star2d_shape_and_points() {
+        // Radius-3 star = 13 points (Star-2D13P).
+        let k = Kernel2D::star(0.4, &[0.1, 0.03, 0.02]);
+        assert_eq!(k.points(), 13);
+        assert!(k.is_star());
+        assert_eq!(k.weight(0, 2), 0.03);
+        assert_eq!(k.weight(-3, 0), 0.02);
+        assert_eq!(k.weight(1, 1), 0.0);
+    }
+
+    #[test]
+    fn weight_tl_matches_signed_indexing() {
+        let k = Kernel2D::from_fn(2, |dx, dy| (dx * 10 + dy) as f64);
+        for kx in 0..5 {
+            for ky in 0..5 {
+                assert_eq!(k.weight_tl(kx, ky), k.weight(kx as isize - 2, ky as isize - 2));
+            }
+        }
+    }
+
+    #[test]
+    fn star3d_has_7_points_at_radius_1() {
+        let k = Kernel3D::star(0.4, &[0.1]);
+        assert_eq!(k.points(), 7); // Heat-3D
+        assert!(k.is_star());
+    }
+
+    #[test]
+    fn box3d_27_points() {
+        let k = Kernel3D::box_uniform(1);
+        assert_eq!(k.points(), 27); // Box-3D27P
+        assert!((k.sum() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plane_decomposition_reassembles_kernel() {
+        let k = Kernel3D::star(0.4, &[0.05, 0.05]);
+        let mut total = 0.0;
+        for dz in -2..=2 {
+            total += k.plane(dz).sum();
+        }
+        assert!((total - k.sum()).abs() < 1e-12);
+        // Off-center planes of a radius-1 star have a single point.
+        let k1 = Kernel3D::star(0.4, &[0.1]);
+        assert_eq!(k1.plane(1).points(), 1);
+        assert_eq!(k1.plane(0).points(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_kernel1d_rejected() {
+        Kernel1D::new(vec![1.0, 2.0]);
+    }
+}

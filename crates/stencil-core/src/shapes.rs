@@ -1,0 +1,287 @@
+//! The named benchmark shapes of the paper (Table 3 and Table 4), with the
+//! concrete weight sets used throughout this reproduction.
+//!
+//! Weight values are not given by the paper (they are irrelevant to its
+//! performance results); we use classic diffusion-style coefficients that
+//! sum to 1 so iterated runs stay numerically bounded.
+
+use crate::kernel::{Kernel1D, Kernel2D, Kernel3D};
+use serde::{Deserialize, Serialize};
+
+/// All stencil shapes appearing in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Shape {
+    /// 3-point 1D heat (radius 1). Table 4.
+    Heat1D,
+    /// 5-point 1D (radius 2). Table 4 ("1D5P").
+    OneD5P,
+    /// 5-point 2D star (radius 1). Tables 3 & 4.
+    Heat2D,
+    /// 9-point 2D box (radius 1). Tables 3 & 4.
+    Box2D9P,
+    /// 9-point 2D star (radius 2). Table 3.
+    Star2D9P,
+    /// 25-point 2D box (radius 2). Table 3.
+    Box2D25P,
+    /// 13-point 2D star (radius 3). Tables 3 & 4.
+    Star2D13P,
+    /// 49-point 2D box (radius 3). Tables 3 & 4.
+    Box2D49P,
+    /// 7-point 3D star (radius 1). Table 4.
+    Heat3D,
+    /// 27-point 3D box (radius 1). Table 4.
+    Box3D27P,
+}
+
+/// A dimensional kernel: what `Shape::kernel` yields.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnyKernel {
+    D1(Kernel1D),
+    D2(Kernel2D),
+    D3(Kernel3D),
+}
+
+impl Shape {
+    /// Every shape, in the paper's Table 4 order followed by the extra
+    /// Table 3 shapes.
+    pub fn all() -> &'static [Shape] {
+        &[
+            Shape::Heat1D,
+            Shape::OneD5P,
+            Shape::Heat2D,
+            Shape::Box2D9P,
+            Shape::Star2D13P,
+            Shape::Box2D49P,
+            Shape::Heat3D,
+            Shape::Box3D27P,
+            Shape::Star2D9P,
+            Shape::Box2D25P,
+        ]
+    }
+
+    /// The eight Table 4 benchmark shapes.
+    pub fn benchmarks() -> &'static [Shape] {
+        &Shape::all()[..8]
+    }
+
+    /// The six Table 3 memory-expansion shapes, in the paper's row order.
+    pub fn table3() -> [Shape; 6] {
+        [
+            Shape::Heat2D,
+            Shape::Box2D9P,
+            Shape::Star2D9P,
+            Shape::Box2D25P,
+            Shape::Star2D13P,
+            Shape::Box2D49P,
+        ]
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Shape::Heat1D => "Heat-1D",
+            Shape::OneD5P => "1D5P",
+            Shape::Heat2D => "Heat-2D",
+            Shape::Box2D9P => "Box-2D9P",
+            Shape::Star2D9P => "Star-2D9P",
+            Shape::Box2D25P => "Box-2D25P",
+            Shape::Star2D13P => "Star-2D13P",
+            Shape::Box2D49P => "Box-2D49P",
+            Shape::Heat3D => "Heat-3D",
+            Shape::Box3D27P => "Box-3D27P",
+        }
+    }
+
+    /// Spatial dimensionality.
+    pub fn dim(&self) -> usize {
+        match self {
+            Shape::Heat1D | Shape::OneD5P => 1,
+            Shape::Heat3D | Shape::Box3D27P => 3,
+            _ => 2,
+        }
+    }
+
+    /// Kernel radius (the paper's "order").
+    pub fn radius(&self) -> usize {
+        match self {
+            Shape::Heat1D | Shape::Heat2D | Shape::Box2D9P | Shape::Heat3D | Shape::Box3D27P => 1,
+            Shape::OneD5P | Shape::Star2D9P | Shape::Box2D25P => 2,
+            Shape::Star2D13P | Shape::Box2D49P => 3,
+        }
+    }
+
+    /// Number of non-zero points ("Points" column of Table 4).
+    pub fn points(&self) -> usize {
+        match self {
+            Shape::Heat1D => 3,
+            Shape::OneD5P => 5,
+            Shape::Heat2D => 5,
+            Shape::Box2D9P | Shape::Star2D9P => 9,
+            Shape::Box2D25P => 25,
+            Shape::Star2D13P => 13,
+            Shape::Box2D49P => 49,
+            Shape::Heat3D => 7,
+            Shape::Box3D27P => 27,
+        }
+    }
+
+    /// Kernel edge length `n_k = 2r + 1`.
+    pub fn nk(&self) -> usize {
+        2 * self.radius() + 1
+    }
+
+    /// The concrete kernel for this shape.
+    pub fn kernel(&self) -> AnyKernel {
+        match self {
+            Shape::Heat1D => AnyKernel::D1(Kernel1D::new(vec![0.25, 0.5, 0.25])),
+            Shape::OneD5P => {
+                AnyKernel::D1(Kernel1D::new(vec![0.0625, 0.25, 0.375, 0.25, 0.0625]))
+            }
+            Shape::Heat2D => AnyKernel::D2(Kernel2D::star(0.5, &[0.125])),
+            Shape::Box2D9P => AnyKernel::D2(Kernel2D::box_uniform(1)),
+            Shape::Star2D9P => AnyKernel::D2(Kernel2D::star(0.6, &[0.07, 0.03])),
+            Shape::Box2D25P => AnyKernel::D2(Kernel2D::box_uniform(2)),
+            Shape::Star2D13P => AnyKernel::D2(Kernel2D::star(0.4, &[0.10, 0.03, 0.02])),
+            Shape::Box2D49P => AnyKernel::D2(Kernel2D::box_uniform(3)),
+            Shape::Heat3D => AnyKernel::D3(Kernel3D::star(0.4, &[0.1])),
+            Shape::Box3D27P => AnyKernel::D3(Kernel3D::box_uniform(1)),
+        }
+    }
+
+    /// The 1D kernel, if this is a 1D shape.
+    pub fn kernel1d(&self) -> Option<Kernel1D> {
+        match self.kernel() {
+            AnyKernel::D1(k) => Some(k),
+            _ => None,
+        }
+    }
+
+    /// The 2D kernel, if this is a 2D shape.
+    pub fn kernel2d(&self) -> Option<Kernel2D> {
+        match self.kernel() {
+            AnyKernel::D2(k) => Some(k),
+            _ => None,
+        }
+    }
+
+    /// The 3D kernel, if this is a 3D shape.
+    pub fn kernel3d(&self) -> Option<Kernel3D> {
+        match self.kernel() {
+            AnyKernel::D3(k) => Some(k),
+            _ => None,
+        }
+    }
+
+    /// Parse the artifact CLI's shape grammar (Appendix A): `1d1r`, `1d2r`,
+    /// `star2d1r`, `box2d1r`, `star2d3r`, `box2d3r`, `star3d1r`, `box3d1r`.
+    pub fn from_cli_name(s: &str) -> Option<Shape> {
+        Some(match s {
+            "1d1r" => Shape::Heat1D,
+            "1d2r" => Shape::OneD5P,
+            "star2d1r" => Shape::Heat2D,
+            "box2d1r" => Shape::Box2D9P,
+            "star2d2r" => Shape::Star2D9P,
+            "box2d2r" => Shape::Box2D25P,
+            "star2d3r" => Shape::Star2D13P,
+            "box2d3r" => Shape::Box2D49P,
+            "star3d1r" => Shape::Heat3D,
+            "box3d1r" => Shape::Box3D27P,
+            _ => return None,
+        })
+    }
+
+    /// The artifact CLI name for this shape.
+    pub fn cli_name(&self) -> &'static str {
+        match self {
+            Shape::Heat1D => "1d1r",
+            Shape::OneD5P => "1d2r",
+            Shape::Heat2D => "star2d1r",
+            Shape::Box2D9P => "box2d1r",
+            Shape::Star2D9P => "star2d2r",
+            Shape::Box2D25P => "box2d2r",
+            Shape::Star2D13P => "star2d3r",
+            Shape::Box2D49P => "box2d3r",
+            Shape::Heat3D => "star3d1r",
+            Shape::Box3D27P => "box3d1r",
+        }
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_counts_match_kernels() {
+        for &s in Shape::all() {
+            let pts = match s.kernel() {
+                AnyKernel::D1(k) => k.points(),
+                AnyKernel::D2(k) => k.points(),
+                AnyKernel::D3(k) => k.points(),
+            };
+            assert_eq!(pts, s.points(), "{s}");
+        }
+    }
+
+    #[test]
+    fn radii_match_kernels() {
+        for &s in Shape::all() {
+            let r = match s.kernel() {
+                AnyKernel::D1(k) => k.radius(),
+                AnyKernel::D2(k) => k.radius(),
+                AnyKernel::D3(k) => k.radius(),
+            };
+            assert_eq!(r, s.radius(), "{s}");
+        }
+    }
+
+    #[test]
+    fn all_kernels_sum_to_one() {
+        for &s in Shape::all() {
+            let sum = match s.kernel() {
+                AnyKernel::D1(k) => k.sum(),
+                AnyKernel::D2(k) => k.sum(),
+                AnyKernel::D3(k) => k.sum(),
+            };
+            assert!((sum - 1.0).abs() < 1e-12, "{s} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn cli_names_roundtrip() {
+        for &s in Shape::all() {
+            assert_eq!(Shape::from_cli_name(s.cli_name()), Some(s));
+        }
+        assert_eq!(Shape::from_cli_name("box9d1r"), None);
+    }
+
+    #[test]
+    fn table3_shapes_are_2d() {
+        for s in Shape::table3() {
+            assert_eq!(s.dim(), 2);
+        }
+    }
+
+    #[test]
+    fn benchmarks_match_table4_order() {
+        let names: Vec<&str> = Shape::benchmarks().iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "Heat-1D",
+                "1D5P",
+                "Heat-2D",
+                "Box-2D9P",
+                "Star-2D13P",
+                "Box-2D49P",
+                "Heat-3D",
+                "Box-3D27P"
+            ]
+        );
+    }
+}

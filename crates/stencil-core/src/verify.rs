@@ -1,0 +1,85 @@
+//! Numerical comparison helpers used by tests and integration checks.
+//!
+//! Simulated Tensor-Core algorithms accumulate in a different order than
+//! the naive reference, so exact bit equality is not expected; agreement is
+//! asserted under a mixed absolute/relative tolerance sized for ~50-term
+//! f64 dot products (well under 1e-10 in practice).
+
+/// Maximum absolute difference between two equal-length slices.
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch: {} vs {}", a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Maximum mixed error: `|x - y| / max(1, |x|, |y|)` — behaves like
+/// absolute error near zero and relative error for large magnitudes.
+pub fn max_mixed_err(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch: {} vs {}", a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs() / x.abs().max(y.abs()).max(1.0))
+        .fold(0.0, f64::max)
+}
+
+/// Default verification tolerance for simulated-vs-reference comparisons.
+pub const DEFAULT_TOL: f64 = 1e-10;
+
+/// Panics with the first offending index if the slices differ beyond `tol`
+/// under the mixed error metric.
+pub fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+    assert_eq!(a.len(), b.len(), "length mismatch: {} vs {}", a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        let err = (x - y).abs() / x.abs().max(y.abs()).max(1.0);
+        assert!(
+            err <= tol,
+            "mismatch at index {i}: {x} vs {y} (mixed err {err:e} > {tol:e})"
+        );
+    }
+}
+
+/// `assert_close` with [`DEFAULT_TOL`].
+pub fn assert_close_default(a: &[f64], b: &[f64]) {
+    assert_close(a, b, DEFAULT_TOL);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_slices_have_zero_diff() {
+        let a = [1.0, -2.0, 3.5];
+        assert_eq!(max_abs_diff(&a, &a), 0.0);
+        assert_eq!(max_mixed_err(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn mixed_err_is_relative_for_large_values() {
+        let a = [1.0e12];
+        let b = [1.0e12 + 1.0e4];
+        assert!(max_abs_diff(&a, &b) > 1e3);
+        assert!(max_mixed_err(&a, &b) < 1e-7);
+    }
+
+    #[test]
+    fn mixed_err_is_absolute_near_zero() {
+        let a = [0.0];
+        let b = [1e-12];
+        assert!((max_mixed_err(&a, &b) - 1e-12).abs() < 1e-24);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch at index 1")]
+    fn assert_close_reports_index() {
+        assert_close(&[1.0, 2.0], &[1.0, 3.0], 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        max_abs_diff(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,258 @@
+//! Device configuration: the hardware constants that drive both the
+//! functional simulation (bank count, sector size) and the performance model
+//! (clock, unit counts, CPIs, bandwidths).
+//!
+//! The default configuration reproduces the NVIDIA A100-SXM4-80GB as
+//! described in the paper (§3.1, §5.1) and in the Ampere microbenchmarking
+//! study the paper cites for its latency/CPI numbers (Table 2).
+
+use serde::{Deserialize, Serialize};
+
+/// Hardware description of the simulated device.
+///
+/// All fields are public so experiments can build hypothetical devices
+/// (e.g. for ablations over TCU count or shared-memory bandwidth).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceConfig {
+    /// Human-readable device name used in reports.
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub num_sms: u32,
+    /// Tensor Core Units per SM.
+    pub tcus_per_sm: u32,
+    /// Core clock in Hz (`f` in the paper's Table 1).
+    pub clock_hz: f64,
+    /// Cycles per FP64 `m8n8k4` MMA instruction on one TCU
+    /// (16 on A100 per the paper's §3.1).
+    pub cpi_dmma: u32,
+    /// Cycles per FP16 `m16n16k16` MMA instruction on one TCU.
+    ///
+    /// A100 FP16 tensor throughput is 16x the FP64 tensor throughput
+    /// (312 vs 19.5 TFLOPS). One 16x16x16 MMA is 8192 FLOPs = 16x the
+    /// FLOPs of an 8x8x4 MMA, so at 16x throughput the CPI comes out
+    /// equal: 16 cycles.
+    pub cpi_hmma: u32,
+    /// FP64 FMA issue rate of the CUDA cores, in FMA operations per cycle
+    /// per SM (A100: 32 FP64 cores x 1 FMA/cycle).
+    pub fp64_fma_per_cycle_per_sm: u32,
+    /// INT32 ALU operation issue rate per cycle per SM (A100: 64).
+    pub int_ops_per_cycle_per_sm: u32,
+    /// Effective cost of one integer division or modulus, in equivalent
+    /// INT32 ALU operations. GPUs have no hardware integer divide; the
+    /// compiler emits a multi-instruction sequence (8–16 ops depending on
+    /// operand width — the paper's §3.4 calls div/mod "highly
+    /// time-consuming" for exactly this reason).
+    pub divmod_int_op_equiv: u32,
+    /// Effective cost of one potentially-divergent conditional branch, in
+    /// equivalent INT32 ALU operations (predicate evaluation + mask
+    /// bookkeeping).
+    pub branch_int_op_equiv: u32,
+    /// Global-memory bandwidth in bytes/second (`bw_G`).
+    pub global_bw_bytes: f64,
+    /// Shared-memory bandwidth per SM in bytes/cycle (`bw_S` feeds off
+    /// this): 32 banks x 4 bytes.
+    pub shared_bytes_per_cycle_per_sm: u32,
+    /// Number of shared-memory banks.
+    pub shared_banks: u32,
+    /// Width of one shared-memory bank in bytes.
+    pub bank_width_bytes: u32,
+    /// Shared memory capacity per SM in bytes (164 KiB usable on A100).
+    pub shared_capacity_bytes: u32,
+    /// Global-memory access latency in cycles (Table 2).
+    pub global_latency_cycles: u32,
+    /// Shared-memory load latency in cycles (Table 2).
+    pub shared_load_latency_cycles: u32,
+    /// Shared-memory store latency in cycles (Table 2).
+    pub shared_store_latency_cycles: u32,
+    /// Minimum global-memory transaction (sector) size in bytes.
+    pub sector_bytes: u32,
+    /// Fixed host-side cost of one kernel launch, in seconds.
+    pub launch_overhead_sec: f64,
+    /// Exposed shared-load latency per dependent scalar request, in
+    /// cycles: scalar stencil loops (load -> FMA chains) cannot fully
+    /// hide the 23-cycle shared latency; roughly this many cycles per
+    /// 16-lane request remain visible after warp-level hiding. Fragment
+    /// loads feeding MMAs are software-pipelined and exposure-free.
+    pub shared_latency_exposure_cycles: f64,
+    /// Imperfect compute/memory overlap: the fraction of the smaller of
+    /// (T_compute, T_memory) that is exposed rather than hidden behind
+    /// the larger. Eq. 2's pure max() assumes perfect overlap; real
+    /// kernels leak a fraction of the minor term (dependency stalls,
+    /// issue contention).
+    pub overlap_exposure: f64,
+    /// Single documented efficiency factor: achieved / modelled-peak.
+    ///
+    /// Calibrated once (DESIGN.md §5) so modelled ConvStencil Heat-2D
+    /// throughput at the paper's problem size lands near the measured
+    /// 188 GStencils/s, then held fixed for every system and workload.
+    pub efficiency: f64,
+}
+
+impl DeviceConfig {
+    /// The A100-SXM4-80GB configuration used throughout the paper.
+    pub fn a100() -> Self {
+        Self {
+            name: "NVIDIA A100-SXM4-80GB (simulated)".to_string(),
+            num_sms: 108,
+            tcus_per_sm: 4,
+            clock_hz: 1.410e9,
+            cpi_dmma: 16,
+            cpi_hmma: 16,
+            fp64_fma_per_cycle_per_sm: 32,
+            int_ops_per_cycle_per_sm: 64,
+            divmod_int_op_equiv: 8,
+            branch_int_op_equiv: 2,
+            global_bw_bytes: 1.935e12,
+            shared_bytes_per_cycle_per_sm: 128,
+            shared_banks: 32,
+            bank_width_bytes: 4,
+            shared_capacity_bytes: 164 * 1024,
+            global_latency_cycles: 290,
+            shared_load_latency_cycles: 23,
+            shared_store_latency_cycles: 19,
+            sector_bytes: 32,
+            launch_overhead_sec: 4.0e-6,
+            shared_latency_exposure_cycles: 4.0,
+            overlap_exposure: 0.25,
+            efficiency: 0.80,
+        }
+    }
+
+    /// An H100-SXM5-like configuration (what-if study, not a paper
+    /// artifact): 132 SMs at 1.83 GHz, 3.35 TB/s HBM3, FP64 tensor
+    /// throughput of ~70 TFLOPS (4th-gen TCUs retire an `m8n8k4` FP64 MMA
+    /// in ~7 cycles), and 228 KiB of shared memory per SM.
+    pub fn h100_like() -> Self {
+        Self {
+            name: "NVIDIA H100-SXM5-80GB (simulated, what-if)".to_string(),
+            num_sms: 132,
+            tcus_per_sm: 4,
+            clock_hz: 1.83e9,
+            cpi_dmma: 7,
+            cpi_hmma: 7,
+            fp64_fma_per_cycle_per_sm: 64,
+            int_ops_per_cycle_per_sm: 64,
+            divmod_int_op_equiv: 8,
+            branch_int_op_equiv: 2,
+            global_bw_bytes: 3.35e12,
+            shared_bytes_per_cycle_per_sm: 128,
+            shared_banks: 32,
+            bank_width_bytes: 4,
+            shared_capacity_bytes: 228 * 1024,
+            global_latency_cycles: 290,
+            shared_load_latency_cycles: 23,
+            shared_store_latency_cycles: 19,
+            sector_bytes: 32,
+            launch_overhead_sec: 4.0e-6,
+            shared_latency_exposure_cycles: 4.0,
+            overlap_exposure: 0.25,
+            efficiency: 0.80,
+        }
+    }
+
+    /// Total number of Tensor Core Units (`N_tcu` in Table 1): 432 on A100.
+    pub fn total_tcus(&self) -> u32 {
+        self.num_sms * self.tcus_per_sm
+    }
+
+    /// Peak FP64 tensor-core throughput in FLOP/s.
+    ///
+    /// One `m8n8k4` MMA performs `8*8*4*2 = 512` FLOPs in `cpi_dmma`
+    /// cycles on one TCU; the A100 figure is 19.5 TFLOPS.
+    pub fn peak_fp64_tensor_flops(&self) -> f64 {
+        let flops_per_mma = 8.0 * 8.0 * 4.0 * 2.0;
+        self.total_tcus() as f64 * flops_per_mma / self.cpi_dmma as f64 * self.clock_hz
+    }
+
+    /// Peak FP64 CUDA-core throughput in FLOP/s (9.7 TFLOPS on A100).
+    pub fn peak_fp64_cuda_flops(&self) -> f64 {
+        self.num_sms as f64 * self.fp64_fma_per_cycle_per_sm as f64 * 2.0 * self.clock_hz
+    }
+
+    /// Aggregate shared-memory bandwidth in bytes/second.
+    pub fn shared_bw_bytes(&self) -> f64 {
+        self.num_sms as f64 * self.shared_bytes_per_cycle_per_sm as f64 * self.clock_hz
+    }
+
+    /// Number of f64 elements per global-memory sector.
+    pub fn f64_per_sector(&self) -> usize {
+        self.sector_bytes as usize / 8
+    }
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        Self::a100()
+    }
+}
+
+/// Memory-access latency table (paper Table 2), derived from the config.
+///
+/// Exists as a struct so `table2_latencies` can print the exact artifact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyTable {
+    pub global_cycles: u32,
+    pub shared_load_cycles: u32,
+    pub shared_store_cycles: u32,
+}
+
+impl From<&DeviceConfig> for LatencyTable {
+    fn from(cfg: &DeviceConfig) -> Self {
+        Self {
+            global_cycles: cfg.global_latency_cycles,
+            shared_load_cycles: cfg.shared_load_latency_cycles,
+            shared_store_cycles: cfg.shared_store_latency_cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a100_has_432_tcus() {
+        assert_eq!(DeviceConfig::a100().total_tcus(), 432);
+    }
+
+    #[test]
+    fn a100_peak_fp64_tensor_is_19_5_tflops() {
+        let peak = DeviceConfig::a100().peak_fp64_tensor_flops();
+        assert!((peak - 19.5e12).abs() / 19.5e12 < 0.01, "peak = {peak:e}");
+    }
+
+    #[test]
+    fn a100_peak_fp64_cuda_is_9_7_tflops() {
+        let peak = DeviceConfig::a100().peak_fp64_cuda_flops();
+        assert!((peak - 9.7e12).abs() / 9.7e12 < 0.01, "peak = {peak:e}");
+    }
+
+    #[test]
+    fn latency_table_matches_paper_table_2() {
+        let t = LatencyTable::from(&DeviceConfig::a100());
+        assert_eq!(t.global_cycles, 290);
+        assert_eq!(t.shared_load_cycles, 23);
+        assert_eq!(t.shared_store_cycles, 19);
+    }
+
+    #[test]
+    fn sector_holds_four_f64() {
+        assert_eq!(DeviceConfig::a100().f64_per_sector(), 4);
+    }
+
+    #[test]
+    fn h100_like_peaks() {
+        let cfg = DeviceConfig::h100_like();
+        let tensor = cfg.peak_fp64_tensor_flops();
+        assert!(tensor > 60e12 && tensor < 80e12, "{tensor:e}");
+        assert!(cfg.global_bw_bytes > 3e12);
+        assert!(cfg.shared_capacity_bytes > DeviceConfig::a100().shared_capacity_bytes);
+    }
+
+    #[test]
+    fn config_clone_preserves_equality() {
+        let cfg = DeviceConfig::a100();
+        let cfg2 = cfg.clone();
+        assert_eq!(cfg, cfg2);
+    }
+}

@@ -1,0 +1,329 @@
+//! The performance model (paper §3.1, Eq. 2–4), extended with CUDA-core
+//! instruction classes so the Fig. 6 ablation is sensitive to the Lookup
+//! Table and Dirty Bits Padding optimizations.
+//!
+//! ```text
+//! T         = max(T_compute, T_memory) / (η · η_par) + T_launch   (Eq. 2 + calibration)
+//! T_compute = Σ_i k_i · CPI_i / (f · N_units_i)                   (Eq. 3)
+//! T_memory  = max(global term, shared term)                       (Eq. 4)
+//! ```
+//!
+//! The global term inflates payload bytes by the measured sector-inflation
+//! factor (uncoalesced requests move more sectors); the shared term inflates
+//! by the measured bank-conflict replay rate. `η` is the single calibrated
+//! efficiency factor (DESIGN.md §5); `η_par` is the wave-quantization /
+//! occupancy factor derived from how many blocks each launch offers the SMs.
+
+use crate::config::DeviceConfig;
+use crate::counters::Counters;
+use serde::{Deserialize, Serialize};
+
+/// Launch-shape statistics gathered by [`crate::device::Device`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LaunchStats {
+    /// Number of kernel launches issued.
+    pub kernel_launches: u64,
+    /// Total thread blocks across all launches.
+    pub total_blocks: u64,
+}
+
+impl LaunchStats {
+    pub fn merge(&mut self, other: &LaunchStats) {
+        self.kernel_launches += other.kernel_launches;
+        self.total_blocks += other.total_blocks;
+    }
+
+    /// Average blocks per launch (0 if nothing launched).
+    pub fn avg_blocks_per_launch(&self) -> f64 {
+        if self.kernel_launches == 0 {
+            0.0
+        } else {
+            self.total_blocks as f64 / self.kernel_launches as f64
+        }
+    }
+}
+
+/// Itemized modelled execution time, in seconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    /// Tensor-core instruction time.
+    pub t_tcu: f64,
+    /// CUDA-core FP64 FMA time.
+    pub t_cuda_fma: f64,
+    /// Integer ALU time (address arithmetic, div/mod expansion, branches).
+    pub t_int: f64,
+    /// Exposed shared-load latency of dependent scalar loads.
+    pub t_latency: f64,
+    /// Total compute term (Eq. 3): the three classes serialize within the
+    /// issuing warps.
+    pub t_compute: f64,
+    /// Global-memory term of Eq. 4, including sector inflation.
+    pub t_global: f64,
+    /// Shared-memory term of Eq. 4, including bank-conflict replays.
+    pub t_shared: f64,
+    /// `max(t_global, t_shared)` (Eq. 4).
+    pub t_memory: f64,
+    /// Wave-quantization parallel efficiency in (0, 1].
+    pub parallel_efficiency: f64,
+    /// Fixed launch overhead.
+    pub t_launch: f64,
+    /// Final modelled wall time (Eq. 2 with calibration).
+    pub total: f64,
+}
+
+impl CostBreakdown {
+    /// Whether the run is compute-bound under the model.
+    pub fn compute_bound(&self) -> bool {
+        self.t_compute >= self.t_memory
+    }
+}
+
+/// Evaluates the performance model for a counter ledger.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    pub config: DeviceConfig,
+}
+
+impl CostModel {
+    pub fn new(config: DeviceConfig) -> Self {
+        Self { config }
+    }
+
+    /// Wave-quantization efficiency: with `b` blocks per launch on `s` SMs,
+    /// the launch completes in `ceil(b/s)` waves but only fills
+    /// `b/(ceil(b/s)·s)` of the machine.
+    pub fn parallel_efficiency(&self, stats: &LaunchStats) -> f64 {
+        let avg_blocks = stats.avg_blocks_per_launch();
+        if avg_blocks <= 0.0 {
+            return 1.0;
+        }
+        let sms = self.config.num_sms as f64;
+        let waves = (avg_blocks / sms).ceil().max(1.0);
+        (avg_blocks / (waves * sms)).min(1.0)
+    }
+
+    /// Eq. 3: compute time from instruction counts.
+    pub fn compute_time(&self, c: &Counters) -> (f64, f64, f64) {
+        let cfg = &self.config;
+        let f = cfg.clock_hz;
+        let t_tcu = (c.dmma_ops as f64 * cfg.cpi_dmma as f64
+            + c.hmma_ops as f64 * cfg.cpi_hmma as f64)
+            / (f * cfg.total_tcus() as f64);
+        let t_fma = c.cuda_fma_ops as f64
+            / (f * cfg.num_sms as f64 * cfg.fp64_fma_per_cycle_per_sm as f64);
+        let int_equiv = c.int_ops as f64
+            + c.int_divmod_ops as f64 * cfg.divmod_int_op_equiv as f64
+            + c.branch_ops as f64 * cfg.branch_int_op_equiv as f64;
+        let t_int = int_equiv / (f * cfg.num_sms as f64 * cfg.int_ops_per_cycle_per_sm as f64);
+        (t_tcu, t_fma, t_int)
+    }
+
+    /// Eq. 4: memory time from traffic counts.
+    pub fn memory_time(&self, c: &Counters) -> (f64, f64) {
+        let cfg = &self.config;
+        let global_bytes = c.global_read_bytes as f64 * c.global_read_inflation()
+            + c.global_write_bytes as f64 * c.global_write_inflation();
+        let t_global = global_bytes / cfg.global_bw_bytes;
+
+        let read_replay = 1.0
+            + if c.shared_read_requests > 0 {
+                c.shared_read_conflicts as f64 / c.shared_read_requests as f64
+            } else {
+                0.0
+            };
+        let write_replay = 1.0
+            + if c.shared_write_requests > 0 {
+                c.shared_write_conflicts as f64 / c.shared_write_requests as f64
+            } else {
+                0.0
+            };
+        let shared_bytes = c.shared_read_bytes as f64 * read_replay
+            + c.shared_write_bytes as f64 * write_replay;
+        let t_shared = shared_bytes / cfg.shared_bw_bytes();
+        (t_global, t_shared)
+    }
+
+    /// Exposed latency of dependent scalar shared loads (see
+    /// `DeviceConfig::shared_latency_exposure_cycles`).
+    pub fn latency_time(&self, c: &Counters) -> f64 {
+        c.shared_scalar_requests as f64 * self.config.shared_latency_exposure_cycles
+            / (self.config.clock_hz * self.config.num_sms as f64)
+    }
+
+    /// Full model: Eq. 2 over Eq. 3/4 with the calibrated efficiency and
+    /// wave quantization.
+    pub fn evaluate(&self, c: &Counters, stats: &LaunchStats) -> CostBreakdown {
+        let (t_tcu, t_cuda_fma, t_int) = self.compute_time(c);
+        let t_latency = self.latency_time(c);
+        let t_compute = t_tcu + t_cuda_fma + t_int + t_latency;
+        let (t_global, t_shared) = self.memory_time(c);
+        let t_memory = t_global.max(t_shared);
+        let eff_par = self.parallel_efficiency(stats);
+        let t_launch = stats.kernel_launches as f64 * self.config.launch_overhead_sec;
+        // Eq. 2 with imperfect overlap: the minor term is partially
+        // exposed (see DeviceConfig::overlap_exposure).
+        let t_core = t_compute.max(t_memory)
+            + self.config.overlap_exposure * t_compute.min(t_memory);
+        let total = t_core / (self.config.efficiency * eff_par) + t_launch;
+        CostBreakdown {
+            t_tcu,
+            t_cuda_fma,
+            t_int,
+            t_latency,
+            t_compute,
+            t_global,
+            t_shared,
+            t_memory,
+            parallel_efficiency: eff_par,
+            t_launch,
+            total,
+        }
+    }
+
+    /// Throughput in GStencils/s (Eq. 16) for `points` stencil points
+    /// updated over `iters` time steps under the modelled time.
+    pub fn gstencils_per_sec(&self, c: &Counters, stats: &LaunchStats, points: u64, iters: u64) -> f64 {
+        let t = self.evaluate(c, stats).total;
+        if t <= 0.0 {
+            return 0.0;
+        }
+        (points as f64 * iters as f64) / t / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CostModel {
+        CostModel::new(DeviceConfig::a100())
+    }
+
+    #[test]
+    fn dmma_time_matches_peak_throughput() {
+        // 432 TCUs * (1 MMA / 16 cycles) * 1.41 GHz = 3.8e10 MMA/s.
+        let m = model();
+        let c = Counters {
+            dmma_ops: 38_070_000_000,
+            ..Default::default()
+        };
+        let (t_tcu, _, _) = m.compute_time(&c);
+        assert!((t_tcu - 1.0).abs() < 0.01, "t_tcu = {t_tcu}");
+    }
+
+    #[test]
+    fn global_traffic_at_peak_bandwidth() {
+        let m = model();
+        let c = Counters {
+            global_read_bytes: 1_935_000_000_000,
+            global_read_sectors: 100,
+            global_read_sectors_min: 100,
+            ..Default::default()
+        };
+        let (t_global, _) = m.memory_time(&c);
+        assert!((t_global - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn sector_inflation_slows_global() {
+        let m = model();
+        let base = Counters {
+            global_read_bytes: 1_000_000,
+            global_read_sectors: 100,
+            global_read_sectors_min: 100,
+            ..Default::default()
+        };
+        let inflated = Counters {
+            global_read_sectors: 400,
+            ..base
+        };
+        assert!(m.memory_time(&inflated).0 > 3.9 * m.memory_time(&base).0);
+    }
+
+    #[test]
+    fn bank_conflicts_slow_shared() {
+        let m = model();
+        let clean = Counters {
+            shared_read_bytes: 1_000_000,
+            shared_read_requests: 1000,
+            ..Default::default()
+        };
+        let conflicted = Counters {
+            shared_read_conflicts: 1000, // 1 replay per request
+            ..clean
+        };
+        let (_, t_clean) = m.memory_time(&clean);
+        let (_, t_conflicted) = m.memory_time(&conflicted);
+        assert!((t_conflicted / t_clean - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wave_quantization() {
+        let m = model();
+        // 108 blocks on 108 SMs: perfect.
+        let full = LaunchStats {
+            kernel_launches: 1,
+            total_blocks: 108,
+        };
+        assert!((m.parallel_efficiency(&full) - 1.0).abs() < 1e-12);
+        // 54 blocks: half the machine idle.
+        let half = LaunchStats {
+            kernel_launches: 1,
+            total_blocks: 54,
+        };
+        assert!((m.parallel_efficiency(&half) - 0.5).abs() < 1e-12);
+        // 109 blocks: two waves, second nearly empty.
+        let tail = LaunchStats {
+            kernel_launches: 1,
+            total_blocks: 109,
+        };
+        assert!((m.parallel_efficiency(&tail) - 109.0 / 216.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn divmod_and_branches_cost_compute_time() {
+        let m = model();
+        let with_divmod = Counters {
+            int_divmod_ops: 1_000_000,
+            ..Default::default()
+        };
+        let without = Counters::default();
+        let (_, _, t_with) = m.compute_time(&with_divmod);
+        let (_, _, t_without) = m.compute_time(&without);
+        assert!(t_with > t_without);
+        assert!(t_with > 0.0);
+    }
+
+    #[test]
+    fn total_is_max_of_compute_and_memory_scaled() {
+        let m = model();
+        let c = Counters {
+            dmma_ops: 1_000_000,
+            global_read_bytes: 10,
+            ..Default::default()
+        };
+        let stats = LaunchStats {
+            kernel_launches: 1,
+            total_blocks: 108,
+        };
+        let b = m.evaluate(&c, &stats);
+        assert!(b.compute_bound());
+        let expected = (b.t_compute + m.config.overlap_exposure * b.t_memory)
+            / m.config.efficiency
+            + m.config.launch_overhead_sec;
+        assert!((b.total - expected).abs() / expected < 1e-12);
+    }
+
+    #[test]
+    fn gstencils_metric() {
+        let m = model();
+        let c = Counters::default();
+        let stats = LaunchStats {
+            kernel_launches: 1,
+            total_blocks: 108,
+        };
+        // With only launch overhead (4 us), 1e9 points * 1 iter:
+        let g = m.gstencils_per_sec(&c, &stats, 1_000_000_000, 1);
+        assert!((g - 1.0 / 4.0e-6 / 1.0).abs() / g < 0.01);
+    }
+}

@@ -1,0 +1,457 @@
+//! Device façade and kernel-launch machinery.
+//!
+//! A [`Device`] owns global memory, a cumulative event ledger, and launch
+//! statistics. Kernels are Rust closures executed once per thread block via
+//! [`Device::launch`]; each block gets a [`BlockCtx`] carrying its own
+//! shared memory, its own counter ledger, and a buffered global write set.
+//!
+//! Semantics mirror a real GPU kernel with double buffering: global reads
+//! observe the pre-launch state; writes retire when the launch completes
+//! (applied in block order, so results are deterministic even though block
+//! bodies run in parallel under rayon — per the session's HPC guides,
+//! rayon's ordered `map` keeps the reduction deterministic).
+
+use crate::config::DeviceConfig;
+use crate::cost::{CostBreakdown, CostModel, LaunchStats};
+use crate::counters::Counters;
+use crate::fragment::{dmma, hmma, FragA, FragAcc, FragB, Tile16};
+use crate::global::{BufferId, GlobalMemory, INACTIVE};
+use crate::shared::SharedMemory;
+use rayon::prelude::*;
+
+/// A contiguous run of buffered global writes (compact representation of a
+/// block's output).
+#[derive(Debug, Clone)]
+struct WriteRun {
+    buf: BufferId,
+    start: usize,
+    vals: Vec<f64>,
+}
+
+/// Per-block execution outcome.
+struct BlockOutcome {
+    counters: Counters,
+    writes: Vec<WriteRun>,
+    scatter_writes: Vec<(BufferId, usize, f64)>,
+}
+
+/// The simulated device.
+#[derive(Debug)]
+pub struct Device {
+    pub config: DeviceConfig,
+    global: GlobalMemory,
+    /// Cumulative event ledger across all launches.
+    pub counters: Counters,
+    /// Cumulative launch-shape statistics.
+    pub launch_stats: LaunchStats,
+}
+
+impl Device {
+    pub fn new(config: DeviceConfig) -> Self {
+        Self {
+            config,
+            global: GlobalMemory::new(),
+            counters: Counters::default(),
+            launch_stats: LaunchStats::default(),
+        }
+    }
+
+    /// Device with the default A100 configuration.
+    pub fn a100() -> Self {
+        Self::new(DeviceConfig::a100())
+    }
+
+    /// Allocate a zeroed global buffer of `len` f64.
+    pub fn alloc(&mut self, len: usize) -> BufferId {
+        self.global.alloc(len)
+    }
+
+    /// Allocate a global buffer initialised from host data.
+    pub fn alloc_from(&mut self, data: &[f64]) -> BufferId {
+        self.global.alloc_from(data)
+    }
+
+    /// Simulated device-to-host copy.
+    pub fn download(&self, id: BufferId) -> &[f64] {
+        self.global.download(id)
+    }
+
+    /// Simulated host-to-device copy.
+    pub fn upload(&mut self, id: BufferId, data: &[f64]) {
+        self.global.upload(id, data)
+    }
+
+    pub fn buffer_len(&self, id: BufferId) -> usize {
+        self.global.buffer_len(id)
+    }
+
+    /// Reset the ledgers (buffers are kept).
+    pub fn reset_counters(&mut self) {
+        self.counters = Counters::default();
+        self.launch_stats = LaunchStats::default();
+    }
+
+    /// Launch a kernel of `num_blocks` blocks, each with `shared_len` f64
+    /// of shared memory. The closure runs once per block index.
+    ///
+    /// Panics if the requested shared memory exceeds the device's per-SM
+    /// capacity — the same hard constraint a real launch would hit.
+    pub fn launch<F>(&mut self, num_blocks: usize, shared_len: usize, kernel: F)
+    where
+        F: Fn(usize, &mut BlockCtx) + Sync,
+    {
+        assert!(
+            shared_len * 8 <= self.config.shared_capacity_bytes as usize,
+            "requested {} B of shared memory; device has {} B per SM",
+            shared_len * 8,
+            self.config.shared_capacity_bytes
+        );
+        let cfg = &self.config;
+        let global = &self.global;
+        let outcomes: Vec<BlockOutcome> = (0..num_blocks)
+            .into_par_iter()
+            .map(|block_id| {
+                let mut ctx = BlockCtx {
+                    config: cfg,
+                    global,
+                    shared: SharedMemory::new(shared_len, cfg.shared_banks as usize),
+                    counters: Counters::default(),
+                    writes: Vec::new(),
+                    scatter_writes: Vec::new(),
+                };
+                kernel(block_id, &mut ctx);
+                BlockOutcome {
+                    counters: ctx.counters,
+                    writes: ctx.writes,
+                    scatter_writes: ctx.scatter_writes,
+                }
+            })
+            .collect();
+
+        for outcome in &outcomes {
+            self.counters += outcome.counters;
+            for run in &outcome.writes {
+                self.global.apply_writes(
+                    &run.vals
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &v)| (run.buf, run.start + i, v))
+                        .collect::<Vec<_>>(),
+                );
+            }
+            self.global.apply_writes(&outcome.scatter_writes);
+        }
+        self.launch_stats.kernel_launches += 1;
+        self.launch_stats.total_blocks += num_blocks as u64;
+    }
+
+    /// Evaluate the performance model over everything run so far.
+    pub fn modelled_cost(&self) -> CostBreakdown {
+        CostModel::new(self.config.clone()).evaluate(&self.counters, &self.launch_stats)
+    }
+
+    /// Modelled throughput for `points` stencil points over `iters` steps.
+    pub fn gstencils_per_sec(&self, points: u64, iters: u64) -> f64 {
+        CostModel::new(self.config.clone()).gstencils_per_sec(
+            &self.counters,
+            &self.launch_stats,
+            points,
+            iters,
+        )
+    }
+}
+
+/// Execution context handed to a kernel closure for one thread block.
+pub struct BlockCtx<'a> {
+    config: &'a DeviceConfig,
+    global: &'a GlobalMemory,
+    /// This block's shared memory.
+    pub shared: SharedMemory,
+    /// This block's event ledger (merged into the device after the launch).
+    pub counters: Counters,
+    writes: Vec<WriteRun>,
+    /// Single-element buffered writes (scattered stores) — kept separate
+    /// from [`WriteRun`] so a scattered warp write does not allocate one
+    /// vector per lane.
+    scatter_writes: Vec<(BufferId, usize, f64)>,
+}
+
+impl BlockCtx<'_> {
+    pub fn config(&self) -> &DeviceConfig {
+        self.config
+    }
+
+    // ---- Global memory ------------------------------------------------
+
+    /// Warp-level global read: up to 32 addresses ([`INACTIVE`] masks a
+    /// lane). Fills `out` (0.0 for inactive lanes) and accounts
+    /// coalescing.
+    pub fn gmem_read_warp(&mut self, buf: BufferId, addrs: &[usize], out: &mut [f64]) {
+        self.global.read_warp(
+            &mut self.counters,
+            buf,
+            addrs,
+            self.config.f64_per_sector(),
+            out,
+        );
+    }
+
+    /// Read a contiguous span `[start, start+len)` with fully-coalesced
+    /// warp requests of 32 lanes. Returns the values.
+    pub fn gmem_read_span(&mut self, buf: BufferId, start: usize, len: usize) -> Vec<f64> {
+        let mut out = vec![0.0; len];
+        let mut addrs = [INACTIVE; 32];
+        let mut lane_out = [0.0f64; 32];
+        let mut i = 0;
+        while i < len {
+            let n = (len - i).min(32);
+            for l in 0..32 {
+                addrs[l] = if l < n { start + i + l } else { INACTIVE };
+            }
+            self.global.read_warp(
+                &mut self.counters,
+                buf,
+                &addrs,
+                self.config.f64_per_sector(),
+                &mut lane_out,
+            );
+            out[i..i + n].copy_from_slice(&lane_out[..n]);
+            i += n;
+        }
+        out
+    }
+
+    /// Warp-level global write of `vals` to `addrs` (same lane count).
+    /// Values retire when the launch completes.
+    pub fn gmem_write_warp(&mut self, buf: BufferId, addrs: &[usize], vals: &[f64]) {
+        assert_eq!(addrs.len(), vals.len());
+        self.global
+            .account_write(&mut self.counters, addrs, self.config.f64_per_sector());
+        // Compact consecutive addresses into runs; lone elements go to the
+        // scatter list to avoid a vector allocation per lane.
+        let mut i = 0;
+        while i < addrs.len() {
+            if addrs[i] == INACTIVE {
+                i += 1;
+                continue;
+            }
+            let start = addrs[i];
+            let mut j = i + 1;
+            while j < addrs.len() && addrs[j] != INACTIVE && addrs[j] == addrs[j - 1] + 1 {
+                j += 1;
+            }
+            if j == i + 1 {
+                self.scatter_writes.push((buf, start, vals[i]));
+            } else {
+                self.writes.push(WriteRun {
+                    buf,
+                    start,
+                    vals: vals[i..j].to_vec(),
+                });
+            }
+            i = j;
+        }
+    }
+
+    /// Write a contiguous span with fully-coalesced warp requests.
+    pub fn gmem_write_span(&mut self, buf: BufferId, start: usize, vals: &[f64]) {
+        let mut addrs = [INACTIVE; 32];
+        let mut i = 0;
+        while i < vals.len() {
+            let n = (vals.len() - i).min(32);
+            for l in 0..32 {
+                addrs[l] = if l < n { start + i + l } else { INACTIVE };
+            }
+            self.global.account_write(
+                &mut self.counters,
+                &addrs[..n],
+                self.config.f64_per_sector(),
+            );
+            i += n;
+        }
+        self.writes.push(WriteRun {
+            buf,
+            start,
+            vals: vals.to_vec(),
+        });
+    }
+
+    // ---- Shared memory -------------------------------------------------
+
+    /// Warp-level shared load with bank-conflict accounting, issued by
+    /// *scalar* code (a dependent consumer follows): also charged as
+    /// latency-exposed requests. MMA operand loads should use
+    /// [`BlockCtx::smem_load_frag`] or the fragment loaders instead.
+    pub fn smem_load(&mut self, addrs: &[usize], out: &mut [f64]) {
+        self.counters.shared_scalar_requests +=
+            (addrs.len() as u64).div_ceil(crate::shared::F64_PHASE_LANES as u64);
+        self.shared.load(&mut self.counters, addrs, out);
+    }
+
+    /// Warp-level shared load for software-pipelined (fragment/operand)
+    /// consumers: bank conflicts are accounted, latency exposure is not.
+    pub fn smem_load_frag(&mut self, addrs: &[usize], out: &mut [f64]) {
+        self.shared.load(&mut self.counters, addrs, out);
+    }
+
+    /// Warp-level shared store with bank-conflict accounting.
+    pub fn smem_store(&mut self, addrs: &[usize], vals: &[f64]) {
+        self.shared.store(&mut self.counters, addrs, vals);
+    }
+
+    /// Load an 8x4 `A` fragment from shared memory at `base` with row
+    /// stride `row_stride`, accounting the two 16-lane phases the hardware
+    /// issues.
+    pub fn load_frag_a(&mut self, base: usize, row_stride: usize) -> FragA {
+        let addrs = FragA::load_addresses(base, row_stride);
+        let mut vals = [0.0; 32];
+        self.shared.load(&mut self.counters, &addrs, &mut vals);
+        FragA { data: vals }
+    }
+
+    /// Load a 4x8 `B` fragment from shared memory.
+    pub fn load_frag_b(&mut self, base: usize, row_stride: usize) -> FragB {
+        let addrs = FragB::load_addresses(base, row_stride);
+        let mut vals = [0.0; 32];
+        self.shared.load(&mut self.counters, &addrs, &mut vals);
+        FragB { data: vals }
+    }
+
+    // ---- Compute -------------------------------------------------------
+
+    /// Issue one FP64 `m8n8k4` MMA: `acc += a * b`.
+    pub fn dmma(&mut self, a: &FragA, b: &FragB, acc: &mut FragAcc) {
+        dmma(a, b, acc);
+        self.counters.dmma_ops += 1;
+    }
+
+    /// Issue one FP16-class `m16n16k16` MMA (TCStencil analog).
+    pub fn hmma(&mut self, a: &Tile16, b: &Tile16, acc: &mut Tile16) {
+        hmma(a, b, acc);
+        self.counters.hmma_ops += 1;
+    }
+
+    /// Account `n` FP64 fused-multiply-adds on the CUDA cores. The caller
+    /// performs the arithmetic; this charges the instructions.
+    pub fn count_fma(&mut self, n: u64) {
+        self.counters.cuda_fma_ops += n;
+    }
+
+    /// Account `n` plain INT32 ALU operations (address arithmetic).
+    pub fn count_int(&mut self, n: u64) {
+        self.counters.int_ops += n;
+    }
+
+    /// Account `n` integer division/modulus operations.
+    pub fn count_divmod(&mut self, n: u64) {
+        self.counters.int_divmod_ops += n;
+    }
+
+    /// Account `n` potentially-divergent conditional branches.
+    pub fn count_branch(&mut self, n: u64) {
+        self.counters.branch_ops += n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn launch_reads_prelaunch_state_and_retires_writes() {
+        let mut dev = Device::a100();
+        let src = dev.alloc_from(&[1.0, 2.0, 3.0, 4.0]);
+        let dst = dev.alloc(4);
+        dev.launch(2, 64, |block, ctx| {
+            let vals = ctx.gmem_read_span(src, block * 2, 2);
+            ctx.gmem_write_span(dst, block * 2, &[vals[0] * 10.0, vals[1] * 10.0]);
+        });
+        assert_eq!(dev.download(dst), &[10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(dev.launch_stats.kernel_launches, 1);
+        assert_eq!(dev.launch_stats.total_blocks, 2);
+        assert!(dev.counters.global_read_bytes >= 32);
+    }
+
+    #[test]
+    fn writes_do_not_affect_reads_within_same_launch() {
+        let mut dev = Device::a100();
+        let buf = dev.alloc_from(&[5.0, 0.0]);
+        dev.launch(1, 16, |_, ctx| {
+            ctx.gmem_write_span(buf, 0, &[99.0]);
+            let v = ctx.gmem_read_span(buf, 0, 1);
+            // Read still sees pre-launch state.
+            ctx.gmem_write_span(buf, 1, &[v[0]]);
+        });
+        assert_eq!(dev.download(buf), &[99.0, 5.0]);
+    }
+
+    #[test]
+    fn dmma_counts_and_computes() {
+        let mut dev = Device::a100();
+        dev.launch(1, 16, |_, ctx| {
+            let mut a = FragA::zero();
+            a.set(1, 2, 3.0);
+            let mut b = FragB::zero();
+            b.set(2, 5, 4.0);
+            let mut acc = FragAcc::zero();
+            ctx.dmma(&a, &b, &mut acc);
+            assert_eq!(acc.get(1, 5), 12.0);
+        });
+        assert_eq!(dev.counters.dmma_ops, 1);
+    }
+
+    #[test]
+    fn frag_loads_from_shared_are_accounted() {
+        let mut dev = Device::a100();
+        dev.launch(1, 512, |_, ctx| {
+            let addrs: Vec<usize> = (0..64).collect();
+            let vals: Vec<f64> = (0..64).map(|i| i as f64).collect();
+            ctx.smem_store(&addrs, &vals);
+            let a = ctx.load_frag_a(0, 8);
+            assert_eq!(a.get(1, 3), 11.0);
+        });
+        // 64-lane store = 4 phases; frag load = 2 phases.
+        assert_eq!(dev.counters.shared_write_requests, 4);
+        assert_eq!(dev.counters.shared_read_requests, 2);
+        assert_eq!(dev.counters.shared_read_bytes, 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "shared memory")]
+    fn oversized_shared_request_panics() {
+        let mut dev = Device::a100();
+        dev.launch(1, 1 << 20, |_, _| {});
+    }
+
+    #[test]
+    fn parallel_blocks_merge_deterministically() {
+        let run = || {
+            let mut dev = Device::a100();
+            let dst = dev.alloc(1024);
+            dev.launch(64, 64, |block, ctx| {
+                ctx.count_fma(block as u64);
+                let vals: Vec<f64> = (0..16).map(|i| (block * 16 + i) as f64).collect();
+                ctx.gmem_write_span(dst, block * 16, &vals);
+            });
+            (dev.counters, dev.download(dst).to_vec())
+        };
+        let (c1, d1) = run();
+        let (c2, d2) = run();
+        assert_eq!(c1, c2);
+        assert_eq!(d1, d2);
+        assert_eq!(c1.cuda_fma_ops, (0..64).sum::<u64>());
+    }
+
+    #[test]
+    fn scalar_span_write_is_coalesced() {
+        let mut dev = Device::a100();
+        let dst = dev.alloc(64);
+        dev.launch(1, 16, |_, ctx| {
+            let vals: Vec<f64> = (0..64).map(|i| i as f64).collect();
+            ctx.gmem_write_span(dst, 0, &vals);
+        });
+        assert_eq!(dev.counters.uncoalesced_requests, 0);
+        assert_eq!(dev.counters.global_write_bytes, 512);
+        assert_eq!(dev.download(dst)[63], 63.0);
+    }
+}

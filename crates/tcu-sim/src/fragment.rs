@@ -1,0 +1,347 @@
+//! Tensor-core fragments and the MMA primitive.
+//!
+//! The FP64 path models the A100 `mma.sync.aligned.m8n8k4.f64` shape the
+//! paper builds on: `D[8x8] = A[8x4] * B[4x8] + C[8x8]`. The math is real
+//! f64 arithmetic with the same per-element dot-product accumulation order
+//! as the hardware (k ascending), so algorithm outputs can be verified
+//! bit-for-bit against a reference that uses the same ordering, or within
+//! tight tolerance against any other ordering.
+//!
+//! A 16x16x16 "HMMA" shape is also provided for the TCStencil analog.
+//! Its arithmetic is carried in f64 (we do not emulate half-precision
+//! rounding) because the paper compares TCStencil by dividing its FP16
+//! throughput by 4, not by comparing numerics (§5.1).
+
+/// `A` operand of an FP64 MMA: 8 rows x 4 columns, row-major.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FragA {
+    pub data: [f64; 32],
+}
+
+/// `B` operand of an FP64 MMA: 4 rows x 8 columns, row-major.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FragB {
+    pub data: [f64; 32],
+}
+
+/// Accumulator / result of an FP64 MMA: 8 rows x 8 columns, row-major.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FragAcc {
+    pub data: [f64; 64],
+}
+
+impl FragA {
+    pub const ROWS: usize = 8;
+    pub const COLS: usize = 4;
+
+    /// Zero-filled fragment.
+    pub fn zero() -> Self {
+        Self { data: [0.0; 32] }
+    }
+
+    /// Load from a row-major buffer: element (r, c) comes from
+    /// `src[base + r * row_stride + c]`. Out-of-range reads are an error in
+    /// the caller's addressing, so this panics in debug via indexing.
+    pub fn load(src: &[f64], base: usize, row_stride: usize) -> Self {
+        let mut data = [0.0; 32];
+        for r in 0..Self::ROWS {
+            let row = base + r * row_stride;
+            data[r * Self::COLS..(r + 1) * Self::COLS].copy_from_slice(&src[row..row + Self::COLS]);
+        }
+        Self { data }
+    }
+
+    /// The flat element addresses the hardware would issue for this load;
+    /// used by the shared-memory model to account bank conflicts.
+    pub fn load_addresses(base: usize, row_stride: usize) -> [usize; 32] {
+        let mut addrs = [0usize; 32];
+        for r in 0..Self::ROWS {
+            for c in 0..Self::COLS {
+                addrs[r * Self::COLS + c] = base + r * row_stride + c;
+            }
+        }
+        addrs
+    }
+
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * Self::COLS + c]
+    }
+
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * Self::COLS + c] = v;
+    }
+}
+
+impl FragB {
+    pub const ROWS: usize = 4;
+    pub const COLS: usize = 8;
+
+    pub fn zero() -> Self {
+        Self { data: [0.0; 32] }
+    }
+
+    /// Load from a row-major buffer with the given row stride.
+    pub fn load(src: &[f64], base: usize, row_stride: usize) -> Self {
+        let mut data = [0.0; 32];
+        for r in 0..Self::ROWS {
+            let row = base + r * row_stride;
+            data[r * Self::COLS..(r + 1) * Self::COLS].copy_from_slice(&src[row..row + Self::COLS]);
+        }
+        Self { data }
+    }
+
+    /// Flat element addresses for a `B` fragment load.
+    pub fn load_addresses(base: usize, row_stride: usize) -> [usize; 32] {
+        let mut addrs = [0usize; 32];
+        for r in 0..Self::ROWS {
+            for c in 0..Self::COLS {
+                addrs[r * Self::COLS + c] = base + r * row_stride + c;
+            }
+        }
+        addrs
+    }
+
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * Self::COLS + c]
+    }
+
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * Self::COLS + c] = v;
+    }
+}
+
+impl FragAcc {
+    pub const ROWS: usize = 8;
+    pub const COLS: usize = 8;
+
+    pub fn zero() -> Self {
+        Self { data: [0.0; 64] }
+    }
+
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * Self::COLS + c]
+    }
+
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * Self::COLS + c] = v;
+    }
+
+    /// Row `r` as a slice (used for coalesced result write-back).
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * Self::COLS..(r + 1) * Self::COLS]
+    }
+}
+
+impl Default for FragA {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+impl Default for FragB {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+impl Default for FragAcc {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+/// The FP64 MMA primitive: `acc += a * b`, with k accumulated in ascending
+/// order exactly once per output element. This is the arithmetic performed
+/// by one `m8n8k4` DMMA instruction; callers must separately account the
+/// instruction via [`crate::counters::Counters::dmma_ops`] (the
+/// [`crate::device::BlockCtx::dmma`] wrapper does both).
+pub fn dmma(a: &FragA, b: &FragB, acc: &mut FragAcc) {
+    for r in 0..8 {
+        for c in 0..8 {
+            let mut sum = acc.get(r, c);
+            for k in 0..4 {
+                sum += a.get(r, k) * b.get(k, c);
+            }
+            acc.set(r, c, sum);
+        }
+    }
+}
+
+/// 16x16 tile used by the FP16-class MMA (TCStencil analog).
+#[derive(Debug, Clone)]
+pub struct Tile16 {
+    pub data: Box<[f64; 256]>,
+}
+
+impl Tile16 {
+    pub const N: usize = 16;
+
+    pub fn zero() -> Self {
+        Self {
+            data: Box::new([0.0; 256]),
+        }
+    }
+
+    pub fn from_fn(mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut t = Self::zero();
+        for r in 0..16 {
+            for c in 0..16 {
+                t.set(r, c, f(r, c));
+            }
+        }
+        t
+    }
+
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * 16 + c]
+    }
+
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * 16 + c] = v;
+    }
+}
+
+impl Default for Tile16 {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+/// The 16x16x16 MMA used by the TCStencil analog: `acc += a * b`.
+/// Arithmetic in f64 (see module docs); count via `hmma_ops`.
+pub fn hmma(a: &Tile16, b: &Tile16, acc: &mut Tile16) {
+    for r in 0..16 {
+        for c in 0..16 {
+            let mut sum = acc.get(r, c);
+            for k in 0..16 {
+                sum += a.get(r, k) * b.get(k, c);
+            }
+            acc.set(r, c, sum);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dmma_identity_left() {
+        // A = I (8x4 slice of identity) times B copies B's rows into acc.
+        let mut a = FragA::zero();
+        for i in 0..4 {
+            a.set(i, i, 1.0);
+        }
+        let mut b = FragB::zero();
+        for r in 0..4 {
+            for c in 0..8 {
+                b.set(r, c, (r * 8 + c) as f64);
+            }
+        }
+        let mut acc = FragAcc::zero();
+        dmma(&a, &b, &mut acc);
+        for r in 0..4 {
+            for c in 0..8 {
+                assert_eq!(acc.get(r, c), b.get(r, c));
+            }
+        }
+        for r in 4..8 {
+            for c in 0..8 {
+                assert_eq!(acc.get(r, c), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn dmma_accumulates_into_c() {
+        let mut a = FragA::zero();
+        a.set(0, 0, 2.0);
+        let mut b = FragB::zero();
+        b.set(0, 0, 3.0);
+        let mut acc = FragAcc::zero();
+        acc.set(0, 0, 10.0);
+        dmma(&a, &b, &mut acc);
+        assert_eq!(acc.get(0, 0), 16.0);
+    }
+
+    #[test]
+    fn dmma_matches_naive_matmul() {
+        let mut a = FragA::zero();
+        let mut b = FragB::zero();
+        for r in 0..8 {
+            for k in 0..4 {
+                a.set(r, k, (r as f64) * 0.5 + (k as f64) * 1.25 + 1.0);
+            }
+        }
+        for k in 0..4 {
+            for c in 0..8 {
+                b.set(k, c, (k as f64) * 2.0 - (c as f64) * 0.75);
+            }
+        }
+        let mut acc = FragAcc::zero();
+        dmma(&a, &b, &mut acc);
+        for r in 0..8 {
+            for c in 0..8 {
+                let mut expect = 0.0;
+                for k in 0..4 {
+                    expect += a.get(r, k) * b.get(k, c);
+                }
+                assert!((acc.get(r, c) - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn frag_load_respects_stride() {
+        let src: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let a = FragA::load(&src, 3, 10);
+        assert_eq!(a.get(0, 0), 3.0);
+        assert_eq!(a.get(0, 3), 6.0);
+        assert_eq!(a.get(7, 0), 73.0);
+        let b = FragB::load(&src, 2, 11);
+        assert_eq!(b.get(0, 0), 2.0);
+        assert_eq!(b.get(3, 7), 2.0 + 3.0 * 11.0 + 7.0);
+    }
+
+    #[test]
+    fn load_addresses_match_load() {
+        let src: Vec<f64> = (0..200).map(|i| (i as f64).sin()).collect();
+        let a = FragA::load(&src, 5, 17);
+        let addrs = FragA::load_addresses(5, 17);
+        for (i, &addr) in addrs.iter().enumerate() {
+            assert_eq!(a.data[i], src[addr]);
+        }
+    }
+
+    #[test]
+    fn hmma_matches_naive() {
+        let a = Tile16::from_fn(|r, c| (r + 2 * c) as f64 * 0.1);
+        let b = Tile16::from_fn(|r, c| (3 * r + c) as f64 * 0.01);
+        let mut acc = Tile16::zero();
+        hmma(&a, &b, &mut acc);
+        for r in 0..16 {
+            for c in 0..16 {
+                let mut expect = 0.0;
+                for k in 0..16 {
+                    expect += a.get(r, k) * b.get(k, c);
+                }
+                assert!((acc.get(r, c) - expect).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn acc_row_slice() {
+        let mut acc = FragAcc::zero();
+        for c in 0..8 {
+            acc.set(2, c, c as f64);
+        }
+        assert_eq!(acc.row(2), &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+    }
+}

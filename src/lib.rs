@@ -1,0 +1,12 @@
+//! Umbrella crate for the ConvStencil reproduction.
+//!
+//! Re-exports the public APIs of the member crates so examples and
+//! integration tests can use a single import root.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record.
+
+pub use convstencil;
+pub use convstencil_baselines as baselines;
+pub use stencil_core;
+pub use tcu_sim;

@@ -1,0 +1,116 @@
+//! Integration: every stencil system (ConvStencil + all baseline analogs)
+//! produces the same numbers on the same workloads — the precondition for
+//! any performance comparison between them.
+
+use convstencil_repro::baselines::{
+    figure7_systems, NaiveGpu, ProblemSize, StencilSystem,
+};
+use convstencil_repro::stencil_core::Shape;
+
+fn small_size(shape: Shape) -> ProblemSize {
+    match shape.dim() {
+        1 => ProblemSize::D1(2048),
+        2 => ProblemSize::D2(48, 96),
+        _ => ProblemSize::D3(12, 16, 48),
+    }
+}
+
+/// Deep-interior agreement (fused/temporal-blocked systems approximate a
+/// boundary ring).
+fn assert_agrees(shape: Shape, size: ProblemSize, steps: usize, got: &[f64], want: &[f64]) {
+    // 1D/2D systems may fuse up to 3 steps (ring 3r per step); 3D never
+    // fuses, so the approximation ring is just steps*r.
+    let fusion = if shape.dim() == 3 { 1 } else { 3 };
+    let margin = steps * shape.radius() * fusion + 1;
+    let check = |a: f64, b: f64, loc: String| {
+        assert!(
+            (a - b).abs() / a.abs().max(b.abs()).max(1.0) < 1e-9,
+            "{shape} {loc}: {a} vs {b}"
+        );
+    };
+    match size {
+        ProblemSize::D1(n) => {
+            for i in margin..n - margin {
+                check(got[i], want[i], format!("[{i}]"));
+            }
+        }
+        ProblemSize::D2(m, n) => {
+            for x in margin..m - margin {
+                for y in margin..n - margin {
+                    check(got[x * n + y], want[x * n + y], format!("({x},{y})"));
+                }
+            }
+        }
+        ProblemSize::D3(d, m, n) => {
+            assert!(d > 2 * margin, "3D verification must not be vacuous");
+            for z in margin..d.saturating_sub(margin) {
+                for x in margin..m - margin {
+                    for y in margin..n - margin {
+                        let i = (z * m + x) * n + y;
+                        check(got[i], want[i], format!("({z},{x},{y})"));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn all_systems_agree_on_all_benchmarks() {
+    let systems = figure7_systems();
+    for &shape in Shape::benchmarks() {
+        let size = small_size(shape);
+        let steps = 3;
+        let reference = NaiveGpu.run(shape, size, steps, 42).unwrap();
+        for sys in &systems {
+            let Some(result) = sys.run(shape, size, steps, 42) else {
+                assert!(!sys.supports(shape), "{} returned None for supported {shape}", sys.name());
+                continue;
+            };
+            assert_eq!(result.output.len() as u64, size.points());
+            assert_agrees(shape, size, steps, &result.output, &reference.output);
+        }
+    }
+}
+
+#[test]
+fn reports_are_internally_consistent() {
+    for sys in figure7_systems() {
+        let Some(r) = sys.run(Shape::Heat2D, ProblemSize::D2(64, 64), 3, 1) else {
+            continue;
+        };
+        let rep = &r.report;
+        assert!(rep.gstencils_per_sec > 0.0, "{}", sys.name());
+        assert!(rep.cost.total > 0.0);
+        assert!(rep.cost.t_compute >= rep.cost.t_tcu);
+        assert!(rep.cost.t_memory >= rep.cost.t_global.min(rep.cost.t_shared));
+        assert!(rep.launch_stats.kernel_launches >= 1);
+        // TCStencil's ledger is FP16-adjusted (2 bytes per element).
+        let element_bytes = if rep.throughput_scale < 1.0 { 2 } else { 8 };
+        assert!(
+            rep.counters.global_write_bytes >= 64 * 64 * element_bytes,
+            "{} must write every output at least once",
+            sys.name()
+        );
+    }
+}
+
+#[test]
+fn tensor_core_systems_use_tensor_cores() {
+    let conv = convstencil_repro::baselines::ConvStencilSystem
+        .run(Shape::Heat2D, ProblemSize::D2(64, 64), 3, 1)
+        .unwrap();
+    assert!(conv.report.counters.dmma_ops > 0);
+    assert_eq!(conv.report.counters.hmma_ops, 0);
+
+    let tcs = convstencil_repro::baselines::TcStencil
+        .run(Shape::Heat2D, ProblemSize::D2(64, 64), 3, 1)
+        .unwrap();
+    assert!(tcs.report.counters.hmma_ops > 0);
+    assert_eq!(tcs.report.counters.dmma_ops, 0);
+
+    let brick = convstencil_repro::baselines::Brick
+        .run(Shape::Heat2D, ProblemSize::D2(64, 64), 3, 1)
+        .unwrap();
+    assert_eq!(brick.report.counters.total_mma_ops(), 0);
+}
