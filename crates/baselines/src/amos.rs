@@ -213,7 +213,13 @@ impl StencilSystem for Amos {
         true
     }
 
-    fn run(&self, shape: Shape, size: ProblemSize, steps: usize, seed: u64) -> Option<SystemResult> {
+    fn run(
+        &self,
+        shape: Shape,
+        size: ProblemSize,
+        steps: usize,
+        seed: u64,
+    ) -> Option<SystemResult> {
         let mut dev = Device::a100();
         let output = match (shape.kernel(), size) {
             (AnyKernel::D1(k), ProblemSize::D1(n)) => {
@@ -270,7 +276,9 @@ mod tests {
         let k = Kernel2D::box_uniform(1);
         let m = 20;
         let n = 36;
-        let got = Amos.run(Shape::Box2D9P, ProblemSize::D2(m, n), 2, 11).unwrap();
+        let got = Amos
+            .run(Shape::Box2D9P, ProblemSize::D2(m, n), 2, 11)
+            .unwrap();
         let g = make_grid2d(m, n, k.radius(), 11);
         let want = run2d(&g, &k, 2);
         assert_close_default(&got.output, &want.interior());
@@ -281,30 +289,40 @@ mod tests {
         let r1 = Amos.run(Shape::Heat1D, ProblemSize::D1(700), 2, 3).unwrap();
         let g1 = make_grid1d(700, 1, 3);
         let k1 = Shape::Heat1D.kernel1d().unwrap();
-        assert_close_default(&r1.output, &stencil_core::reference::run1d(&g1, &k1, 2).interior());
+        assert_close_default(
+            &r1.output,
+            &stencil_core::reference::run1d(&g1, &k1, 2).interior(),
+        );
 
         let r3 = Amos
             .run(Shape::Box3D27P, ProblemSize::D3(5, 9, 17), 1, 4)
             .unwrap();
         let g3 = make_grid3d(5, 9, 17, 1, 4);
         let k3 = Shape::Box3D27P.kernel3d().unwrap();
-        assert_close_default(&r3.output, &stencil_core::reference::run3d(&g3, &k3, 1).interior());
+        assert_close_default(
+            &r3.output,
+            &stencil_core::reference::run3d(&g3, &k3, 1).interior(),
+        );
     }
 
     #[test]
     fn amos_pays_explicit_im2row_traffic() {
         // Global traffic per point must be >= 2K words (write + re-read of
         // the im2row row) — the space explosion of §2.3.
-        let r = Amos.run(Shape::Box2D9P, ProblemSize::D2(32, 32), 1, 1).unwrap();
-        let per_point =
-            (r.report.counters.global_read_bytes + r.report.counters.global_write_bytes) as f64
-                / 1024.0;
+        let r = Amos
+            .run(Shape::Box2D9P, ProblemSize::D2(32, 32), 1, 1)
+            .unwrap();
+        let per_point = (r.report.counters.global_read_bytes + r.report.counters.global_write_bytes)
+            as f64
+            / 1024.0;
         assert!(per_point > 2.0 * 9.0 * 8.0, "bytes/pt = {per_point}");
     }
 
     #[test]
     fn amos_uses_tensor_cores_with_one_useful_column() {
-        let r = Amos.run(Shape::Box2D9P, ProblemSize::D2(32, 32), 1, 1).unwrap();
+        let r = Amos
+            .run(Shape::Box2D9P, ProblemSize::D2(32, 32), 1, 1)
+            .unwrap();
         // ceil(9/4) = 3 MMAs per 8 points.
         let expect = 1024 / 8 * 3;
         assert_eq!(r.report.counters.dmma_ops, expect);
@@ -312,7 +330,9 @@ mod tests {
 
     #[test]
     fn amos_writes_are_uncoalesced() {
-        let r = Amos.run(Shape::Box2D9P, ProblemSize::D2(32, 32), 1, 1).unwrap();
+        let r = Amos
+            .run(Shape::Box2D9P, ProblemSize::D2(32, 32), 1, 1)
+            .unwrap();
         assert!(
             r.report.counters.uncoalesced_global_access_pct() > 10.0,
             "UGA = {}",

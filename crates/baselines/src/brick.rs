@@ -72,8 +72,7 @@ impl Brick {
                         for &(dx, dy, w) in &taps {
                             let row = (x as isize + r as isize + dx) as usize;
                             for l in 0..lanes {
-                                addrs[l] =
-                                    row * stride + ((y + l + r) as isize + dy) as usize;
+                                addrs[l] = row * stride + ((y + l + r) as isize + dy) as usize;
                             }
                             ctx.smem_load(&addrs[..lanes], &mut vals[..lanes]);
                             ctx.count_fma(lanes as u64);
@@ -244,7 +243,13 @@ impl StencilSystem for Brick {
         true
     }
 
-    fn run(&self, shape: Shape, size: ProblemSize, steps: usize, seed: u64) -> Option<SystemResult> {
+    fn run(
+        &self,
+        shape: Shape,
+        size: ProblemSize,
+        steps: usize,
+        seed: u64,
+    ) -> Option<SystemResult> {
         let mut dev = Device::a100();
         let output = match (shape.kernel(), size) {
             (AnyKernel::D1(k), ProblemSize::D1(n)) => {

@@ -59,7 +59,8 @@ pub trait StencilSystem {
     fn supports(&self, shape: Shape) -> bool;
     /// Run `steps` time steps of `shape` at `size` on a deterministic
     /// pseudo-random grid (`seed`). Returns `None` for unsupported shapes.
-    fn run(&self, shape: Shape, size: ProblemSize, steps: usize, seed: u64) -> Option<SystemResult>;
+    fn run(&self, shape: Shape, size: ProblemSize, steps: usize, seed: u64)
+        -> Option<SystemResult>;
 }
 
 /// Deterministic input grids shared by every system so outputs are
@@ -93,6 +94,11 @@ pub fn report_from_device(dev: &Device, points: u64, steps: u64) -> RunReport {
         cost: model.evaluate(&dev.counters, &dev.launch_stats),
         gstencils_per_sec: model.gstencils_per_sec(&dev.counters, &dev.launch_stats, points, steps),
         throughput_scale: 1.0,
+        faults_injected: dev.counters.faults_injected(),
+        faults_detected: 0,
+        retries: 0,
+        degraded: false,
+        verified: false,
     }
 }
 

@@ -1,7 +1,9 @@
 //! [`StencilSystem`] adapter for ConvStencil itself, so the benchmark
 //! harness can drive it uniformly alongside the baselines.
 
-use crate::common::{make_grid1d, make_grid2d, make_grid3d, ProblemSize, StencilSystem, SystemResult};
+use crate::common::{
+    make_grid1d, make_grid2d, make_grid3d, ProblemSize, StencilSystem, SystemResult,
+};
 use convstencil::{ConvStencil1D, ConvStencil2D, ConvStencil3D};
 use stencil_core::{AnyKernel, Shape};
 
@@ -18,7 +20,13 @@ impl StencilSystem for ConvStencilSystem {
         true
     }
 
-    fn run(&self, shape: Shape, size: ProblemSize, steps: usize, seed: u64) -> Option<SystemResult> {
+    fn run(
+        &self,
+        shape: Shape,
+        size: ProblemSize,
+        steps: usize,
+        seed: u64,
+    ) -> Option<SystemResult> {
         match (shape.kernel(), size) {
             (AnyKernel::D1(k), ProblemSize::D1(n)) => {
                 let g = make_grid1d(n, k.radius(), seed);

@@ -171,11 +171,16 @@ impl CudnnGemm {
         for kz in 0..nk {
             for kx in 0..nk {
                 for ky in 0..nk {
-                    weights.push((kz, kx, ky, k.weight(
-                        kz as isize - r as isize,
-                        kx as isize - r as isize,
-                        ky as isize - r as isize,
-                    )));
+                    weights.push((
+                        kz,
+                        kx,
+                        ky,
+                        k.weight(
+                            kz as isize - r as isize,
+                            kx as isize - r as isize,
+                            ky as isize - r as isize,
+                        ),
+                    ));
                 }
             }
         }
@@ -205,9 +210,7 @@ impl CudnnGemm {
                         while i < vals.len() {
                             let lanes = 32.min(vals.len() - i);
                             saddrs.clear();
-                            saddrs.extend(
-                                (0..lanes).map(|l| kz * plane_tile + t * stride + i + l),
-                            );
+                            saddrs.extend((0..lanes).map(|l| kz * plane_tile + t * stride + i + l));
                             ctx.smem_store(&saddrs, &vals[i..i + lanes]);
                             i += lanes;
                         }
@@ -256,7 +259,13 @@ impl StencilSystem for CudnnGemm {
         true
     }
 
-    fn run(&self, shape: Shape, size: ProblemSize, steps: usize, seed: u64) -> Option<SystemResult> {
+    fn run(
+        &self,
+        shape: Shape,
+        size: ProblemSize,
+        steps: usize,
+        seed: u64,
+    ) -> Option<SystemResult> {
         let mut dev = Device::a100();
         let output = match (shape.kernel(), size) {
             (AnyKernel::D1(k), ProblemSize::D1(n)) => {

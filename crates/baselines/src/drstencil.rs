@@ -57,7 +57,11 @@ impl DrStencil {
         let r = k.radius();
         let taps = taps_2d(k);
         // Work grid with enough halo for t-step blocks (frozen boundary).
-        let work = if halo_grid >= t * r { grid.clone() } else { grid.with_halo(t * r) };
+        let work = if halo_grid >= t * r {
+            grid.clone()
+        } else {
+            grid.with_halo(t * r)
+        };
         let halo = work.halo();
         let pcols_w = work.padded_cols();
         let a = dev.alloc_from(work.padded());
@@ -134,10 +138,8 @@ impl DrStencil {
                             let mut vals = Vec::new();
                             for x in 0..trows {
                                 for y in 0..tcols {
-                                    let inner = x >= lo
-                                        && x < trows - lo
-                                        && y >= lo
-                                        && y < tcols - lo;
+                                    let inner =
+                                        x >= lo && x < trows - lo && y >= lo && y < tcols - lo;
                                     if !inner {
                                         addrs.push(dst_off + x * stride + y);
                                         vals.push(raw[src_off + x * stride + y]);
@@ -194,7 +196,11 @@ impl DrStencil {
         // direct implementation.
         let n = grid.len();
         let r = k.radius();
-        let work = if grid.halo() >= t * r { grid.clone() } else { grid.with_halo(t * r) };
+        let work = if grid.halo() >= t * r {
+            grid.clone()
+        } else {
+            grid.with_halo(t * r)
+        };
         let halo = work.halo();
         let a = dev.alloc_from(work.padded());
         let b = dev.alloc_from(work.padded());
@@ -287,17 +293,15 @@ impl DrStencil {
         out
     }
 
-    pub fn run_3d(
-        dev: &mut Device,
-        grid: &Grid3D,
-        k: &Kernel3D,
-        steps: usize,
-        t: usize,
-    ) -> Grid3D {
+    pub fn run_3d(dev: &mut Device, grid: &Grid3D, k: &Kernel3D, steps: usize, t: usize) -> Grid3D {
         let (d, m, n) = (grid.depth(), grid.rows(), grid.cols());
         let r = k.radius();
         let taps = taps_3d(k);
-        let work = if grid.halo() >= t * r { grid.clone() } else { grid.with_halo(t * r) };
+        let work = if grid.halo() >= t * r {
+            grid.clone()
+        } else {
+            grid.with_halo(t * r)
+        };
         let halo = work.halo();
         let pcols = work.padded_cols();
         let plane = work.padded_rows() * pcols;
@@ -359,8 +363,8 @@ impl DrStencil {
                                             let pz = (z as isize + dz) as usize;
                                             let px = (x as isize + dx) as usize;
                                             let py = ((y + l) as isize + dy) as usize;
-                                            sum += w
-                                                * raw[src_off + pz * pstride + px * stride + py];
+                                            sum +=
+                                                w * raw[src_off + pz * pstride + px * stride + py];
                                         }
                                         sums[l] = sum;
                                     }
@@ -433,7 +437,12 @@ impl DrStencil {
         for z in 0..d {
             for x in 0..m {
                 for y in 0..n {
-                    out.set(z, x, y, data[(z + halo) * plane + (x + halo) * pcols + y + halo]);
+                    out.set(
+                        z,
+                        x,
+                        y,
+                        data[(z + halo) * plane + (x + halo) * pcols + y + halo],
+                    );
                 }
             }
         }
@@ -454,7 +463,13 @@ impl StencilSystem for DrStencil {
         true
     }
 
-    fn run(&self, shape: Shape, size: ProblemSize, steps: usize, seed: u64) -> Option<SystemResult> {
+    fn run(
+        &self,
+        shape: Shape,
+        size: ProblemSize,
+        steps: usize,
+        seed: u64,
+    ) -> Option<SystemResult> {
         let mut dev = Device::a100();
         let output = match (shape.kernel(), size) {
             (AnyKernel::D1(k), ProblemSize::D1(n)) => {
@@ -548,9 +563,6 @@ mod tests {
         };
         let t1 = traffic(1);
         let t3 = traffic(3);
-        assert!(
-            (t3 as f64) < 0.6 * t1 as f64,
-            "T3 traffic {t3} vs T1 {t1}"
-        );
+        assert!((t3 as f64) < 0.6 * t1 as f64, "T3 traffic {t3} vs T1 {t1}");
     }
 }

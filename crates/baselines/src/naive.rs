@@ -3,7 +3,10 @@
 //! paper's comparison systems — it is the correctness anchor the analogs
 //! are smoke-tested against, and a floor for the performance plots.
 
-use crate::common::{make_grid1d, make_grid2d, make_grid3d, report_from_device, ProblemSize, StencilSystem, SystemResult};
+use crate::common::{
+    make_grid1d, make_grid2d, make_grid3d, report_from_device, ProblemSize, StencilSystem,
+    SystemResult,
+};
 use stencil_core::{AnyKernel, Grid1D, Grid2D, Grid3D, Kernel1D, Kernel2D, Kernel3D, Shape};
 use tcu_sim::{BufferId, Device, INACTIVE};
 
@@ -139,8 +142,9 @@ impl NaiveGpu {
                             let pz = ((z + halo) as isize + dz) as usize;
                             let px = ((x + halo) as isize + dx) as usize;
                             for l in 0..lanes {
-                                addrs[l] =
-                                    pz * plane + px * pcols + ((y + l + halo) as isize + dy) as usize;
+                                addrs[l] = pz * plane
+                                    + px * pcols
+                                    + ((y + l + halo) as isize + dy) as usize;
                             }
                             ctx.gmem_read_warp(src, &addrs[..lanes], &mut vals[..lanes]);
                             ctx.count_fma(lanes as u64);
@@ -206,7 +210,13 @@ impl StencilSystem for NaiveGpu {
         true
     }
 
-    fn run(&self, shape: Shape, size: ProblemSize, steps: usize, seed: u64) -> Option<SystemResult> {
+    fn run(
+        &self,
+        shape: Shape,
+        size: ProblemSize,
+        steps: usize,
+        seed: u64,
+    ) -> Option<SystemResult> {
         let mut dev = Device::a100();
         let result = match (shape.kernel(), size) {
             (AnyKernel::D1(k), ProblemSize::D1(n)) => {
@@ -237,8 +247,8 @@ impl StencilSystem for NaiveGpu {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use stencil_core::reference::{run1d, run2d, run3d};
     use stencil_core::assert_close_default;
+    use stencil_core::reference::{run1d, run2d, run3d};
 
     #[test]
     fn naive_1d_matches_reference() {
@@ -277,7 +287,10 @@ mod tests {
         let mut dev = Device::a100();
         NaiveGpu::run_2d(&mut dev, &g, &k, 1);
         let per_point = dev.counters.global_read_bytes as f64 / (32.0 * 32.0);
-        assert!((per_point - 9.0 * 8.0).abs() < 1.0, "bytes/pt = {per_point}");
+        assert!(
+            (per_point - 9.0 * 8.0).abs() < 1.0,
+            "bytes/pt = {per_point}"
+        );
     }
 
     #[test]

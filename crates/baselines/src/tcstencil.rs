@@ -425,9 +425,12 @@ impl TcStencil {
         c.global_write_sectors_min = c.global_write_sectors;
         let model = tcu_sim::CostModel::new(cfg.clone());
         report.cost = model.evaluate(&report.counters, &report.launch_stats);
-        report.gstencils_per_sec =
-            model.gstencils_per_sec(&report.counters, &report.launch_stats, report.points, report.steps)
-                / 4.0;
+        report.gstencils_per_sec = model.gstencils_per_sec(
+            &report.counters,
+            &report.launch_stats,
+            report.points,
+            report.steps,
+        ) / 4.0;
         report.throughput_scale = 0.25;
     }
 }
@@ -500,7 +503,13 @@ impl StencilSystem for TcStencil {
         }
     }
 
-    fn run(&self, shape: Shape, size: ProblemSize, steps: usize, seed: u64) -> Option<SystemResult> {
+    fn run(
+        &self,
+        shape: Shape,
+        size: ProblemSize,
+        steps: usize,
+        seed: u64,
+    ) -> Option<SystemResult> {
         if !self.supports(shape) {
             return None;
         }
@@ -572,7 +581,9 @@ mod tests {
     #[test]
     fn colpair_loads_are_uncoalesced() {
         let k = Kernel2D::star(0.5, &[0.125]);
-        let r = TcStencil.run(Shape::Heat2D, ProblemSize::D2(64, 64), 1, 1).unwrap();
+        let r = TcStencil
+            .run(Shape::Heat2D, ProblemSize::D2(64, 64), 1, 1)
+            .unwrap();
         let uga = r.report.counters.uncoalesced_global_access_pct();
         assert!(uga > 30.0, "UGA = {uga}%");
         let _ = k;
@@ -581,7 +592,9 @@ mod tests {
     #[test]
     fn unsupported_3d_returns_none() {
         assert!(!TcStencil.supports(Shape::Heat3D));
-        assert!(TcStencil.run(Shape::Heat3D, ProblemSize::D3(4, 4, 4), 1, 1).is_none());
+        assert!(TcStencil
+            .run(Shape::Heat3D, ProblemSize::D3(4, 4, 4), 1, 1)
+            .is_none());
     }
 
     #[test]
@@ -593,7 +606,9 @@ mod tests {
 
     #[test]
     fn hmma_counted_and_fp64_adjusted() {
-        let r = TcStencil.run(Shape::Heat2D, ProblemSize::D2(32, 32), 1, 1).unwrap();
+        let r = TcStencil
+            .run(Shape::Heat2D, ProblemSize::D2(32, 32), 1, 1)
+            .unwrap();
         assert!(r.report.counters.hmma_ops > 0);
         assert_eq!(r.report.counters.dmma_ops, 0);
     }

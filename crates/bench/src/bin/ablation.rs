@@ -49,7 +49,9 @@ fn main() {
         ]);
     }
     print!("{}", render_table(&rows));
-    println!("Fusing to n_k = 7 amortizes global traffic and fills the fragment (paper §3.3/Fig. 4).");
+    println!(
+        "Fusing to n_k = 7 amortizes global traffic and fills the fragment (paper §3.3/Fig. 4)."
+    );
 
     // --- Ablation 2: block rows --------------------------------------
     print!("{}", banner("Ablation: output rows per block (Box-2D49P)"));
@@ -64,7 +66,12 @@ fn main() {
         let variant = VariantConfig::conv_stencil();
         let plan = Plan2D::with_block(size, size, 7, br, 8, variant);
         if plan.layout.total * 8 > 164 * 1024 {
-            rows.push(vec![br.to_string(), "-".into(), "exceeds shared".into(), "-".into()]);
+            rows.push(vec![
+                br.to_string(),
+                "-".into(),
+                "exceeds shared".into(),
+                "-".into(),
+            ]);
             continue;
         }
         let exec = Exec2D::with_plan(&kernel, plan.clone(), variant);
@@ -126,7 +133,10 @@ fn main() {
         let g = model.gstencils_per_sec(&counters, &stats, 1024u64.pow(3), 1024);
         rows.push(vec![
             bz.to_string(),
-            format!("{:.1}", dev.counters.global_read_bytes as f64 / points as f64),
+            format!(
+                "{:.1}",
+                dev.counters.global_read_bytes as f64 / points as f64
+            ),
             format!("{g:.1}"),
         ]);
     }

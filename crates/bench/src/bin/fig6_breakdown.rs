@@ -6,9 +6,9 @@
 //! quantity Fig. 6 annotates.
 
 use convstencil::{ConvStencil1D, ConvStencil2D, ConvStencil3D, RunReport, VariantConfig};
+use convstencil_baselines::ProblemSize;
 use convstencil_bench::report::{banner, fmt_delta_pct, render_table};
 use convstencil_bench::{project_report, quick_mode, workload_for};
-use convstencil_baselines::ProblemSize;
 use stencil_core::{Grid1D, Grid2D, Grid3D, Shape};
 use tcu_sim::DeviceConfig;
 
@@ -39,7 +39,10 @@ fn run_variant(shape: Shape, size: ProblemSize, steps: usize, variant: VariantCo
 fn main() {
     let cfg = DeviceConfig::a100();
     let quick = quick_mode();
-    print!("{}", banner("Figure 6: Performance breakdown of ConvStencil"));
+    print!(
+        "{}",
+        banner("Figure 6: Performance breakdown of ConvStencil")
+    );
     // Paper's incremental speedups, for reference in the output:
     // Heat-1D: 22%, 76%, 1%, 4% | Box-2D9P: 170%, 68%, 14%, 19% |
     // Box-3D27P: 67%, 44%, 10%, 13%.
@@ -48,7 +51,10 @@ fn main() {
         ("Box-2D9P", ["-", "+170%", "+68%", "+14%", "+19%"]),
         ("Box-3D27P", ["-", "+67%", "+44%", "+10%", "+13%"]),
     ];
-    for (si, shape) in [Shape::Heat1D, Shape::Box2D9P, Shape::Box3D27P].iter().enumerate() {
+    for (si, shape) in [Shape::Heat1D, Shape::Box2D9P, Shape::Box3D27P]
+        .iter()
+        .enumerate()
+    {
         let mut w = workload_for(*shape);
         if quick {
             w = w.quick();

@@ -14,7 +14,13 @@ use tcu_sim::DeviceConfig;
 
 /// Deep-interior correctness check of a system's output vs the naive
 /// reference (fused systems approximate a boundary ring; see DESIGN.md).
-fn verify(shape: stencil_core::Shape, size: ProblemSize, steps: usize, out: &[f64], reference: &[f64]) {
+fn verify(
+    shape: stencil_core::Shape,
+    size: ProblemSize,
+    steps: usize,
+    out: &[f64],
+    reference: &[f64],
+) {
     // 1D/2D systems may fuse up to 3 steps (ring 3r per step); 3D never
     // fuses, so the approximation ring is just steps*r.
     let fusion = if shape.dim() == 3 { 1 } else { 3 };
@@ -53,7 +59,10 @@ fn main() {
     let cfg = DeviceConfig::a100();
     let quick = quick_mode();
     let systems = figure7_systems();
-    print!("{}", banner("Figure 7: Performance comparison between state-of-the-arts and ConvStencil"));
+    print!(
+        "{}",
+        banner("Figure 7: Performance comparison between state-of-the-arts and ConvStencil")
+    );
     println!("(GStencils/s, projected to the paper's Table 4 problem sizes)\n");
     let mut header: Vec<String> = vec!["Kernel".into()];
     header.extend(systems.iter().map(|s| s.name().to_string()));
@@ -69,8 +78,15 @@ fn main() {
         for sys in &systems {
             let result = sys.run(w.shape, w.measure_size, w.measure_steps, 42);
             let proj = result.map(|r| {
-                verify(w.shape, w.measure_size, w.measure_steps, &r.output, &reference.output);
-                project_report(&r.report, &cfg, w.paper_size.points(), w.paper_iters).gstencils_per_sec
+                verify(
+                    w.shape,
+                    w.measure_size,
+                    w.measure_steps,
+                    &r.output,
+                    &reference.output,
+                );
+                project_report(&r.report, &cfg, w.paper_size.points(), w.paper_iters)
+                    .gstencils_per_sec
             });
             cells.push(proj);
         }
@@ -90,6 +106,9 @@ fn main() {
     print!("{}", render_table(&rows));
     convstencil_bench::maybe_write_csv("fig7_sota", &rows);
     let geo = speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64;
-    println!("\nGeo-mean speedup of ConvStencil over the best competing system: {:.2}x", geo.exp());
+    println!(
+        "\nGeo-mean speedup of ConvStencil over the best competing system: {:.2}x",
+        geo.exp()
+    );
     println!("Paper claims: 2.89x-42.62x vs cuDNN, 2.77x avg vs Brick, 2.02x avg vs DRStencil.");
 }

@@ -21,7 +21,10 @@ fn main() {
     let steps = 3; // one T3 round / one fused application
 
     for shape in [Shape::Heat2D, Shape::Box2D9P] {
-        print!("{}", banner(&format!("Figure 8: {} (problem size x^2)", shape.name())));
+        print!(
+            "{}",
+            banner(&format!("Figure 8: {} (problem size x^2)", shape.name()))
+        );
         let mut rows = vec![vec![
             "Size".to_string(),
             "ConvStencil GS/s".to_string(),
@@ -59,7 +62,10 @@ fn main() {
     }
 
     for shape in [Shape::Heat3D, Shape::Box3D27P] {
-        print!("{}", banner(&format!("Figure 8: {} (problem size x^3)", shape.name())));
+        print!(
+            "{}",
+            banner(&format!("Figure 8: {} (problem size x^3)", shape.name()))
+        );
         let mut rows = vec![vec![
             "Size".to_string(),
             "ConvStencil GS/s".to_string(),
@@ -98,5 +104,7 @@ fn main() {
             None => println!("No crossover in the sweep."),
         }
     }
-    println!("\nPaper plateau speedups: Heat-2D 1.42x, Box-2D9P 2.13x, Heat-3D 1.63x, Box-3D27P 5.22x.");
+    println!(
+        "\nPaper plateau speedups: Heat-2D 1.42x, Box-2D9P 2.13x, Heat-3D 1.63x, Box-3D27P 5.22x."
+    );
 }

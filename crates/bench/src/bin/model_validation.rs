@@ -10,7 +10,10 @@ use tcu_sim::DeviceConfig;
 
 fn main() {
     let cfg = DeviceConfig::a100();
-    print!("{}", banner("Eq. 13: predicted vs measured MMA count (per fused application)"));
+    print!(
+        "{}",
+        banner("Eq. 13: predicted vs measured MMA count (per fused application)")
+    );
     let mut rows = vec![vec![
         "Shape".to_string(),
         "n_k".to_string(),
@@ -19,7 +22,12 @@ fn main() {
         "Match".to_string(),
     ]];
     let (m, n) = (512usize, 512usize);
-    for shape in [Shape::Heat2D, Shape::Box2D9P, Shape::Star2D13P, Shape::Box2D49P] {
+    for shape in [
+        Shape::Heat2D,
+        Shape::Box2D9P,
+        Shape::Star2D13P,
+        Shape::Box2D49P,
+    ] {
         let k = shape.kernel2d().unwrap();
         let cs = ConvStencil2D::new(k).with_variant(VariantConfig::conv_stencil());
         let nk = cs.fused_kernel().nk();
@@ -32,12 +40,19 @@ fn main() {
             nk.to_string(),
             predicted.to_string(),
             report.counters.dmma_ops.to_string(),
-            if predicted == report.counters.dmma_ops { "exact".into() } else { "DIFFERS".into() },
+            if predicted == report.counters.dmma_ops {
+                "exact".into()
+            } else {
+                "DIFFERS".into()
+            },
         ]);
     }
     print!("{}", render_table(&rows));
 
-    print!("{}", banner("Eq. 14 vs Eq. 15: ConvStencil vs GEMM-based convolution compute time (10240^2)"));
+    print!(
+        "{}",
+        banner("Eq. 14 vs Eq. 15: ConvStencil vs GEMM-based convolution compute time (10240^2)")
+    );
     let mut rows = vec![vec![
         "n_k".to_string(),
         "T_compute ConvStencil (ms)".to_string(),
@@ -56,7 +71,10 @@ fn main() {
     }
     print!("{}", render_table(&rows));
 
-    print!("{}", banner("Tensor Core utilization (§3.3 claim: 12.5% -> 87.5%)"));
+    print!(
+        "{}",
+        banner("Tensor Core utilization (§3.3 claim: 12.5% -> 87.5%)")
+    );
     println!(
         "matrix-vector mapping: {:.1}% | dual-tessellation weight matrix (n_k = 7): {:.1}% | accumulator columns completed: {:.1}%",
         100.0 * model::weight_matrix_utilization(1),
@@ -64,7 +82,10 @@ fn main() {
         100.0 * model::accumulator_utilization(7),
     );
 
-    print!("{}", banner("§3.2 claim: memory reduction 70.0%-96.4% across Table 3 shapes"));
+    print!(
+        "{}",
+        banner("§3.2 claim: memory reduction 70.0%-96.4% across Table 3 shapes")
+    );
     let savings: Vec<f64> = model::table3().iter().map(|r| r.saving_pct).collect();
     println!(
         "min {:.1}%  max {:.1}%  (paper: 70.0% .. 96.4%)",

@@ -9,10 +9,26 @@ fn main() {
     let t = LatencyTable::from(&cfg);
     print!("{}", banner("Table 2: Memory access latencies"));
     let rows = vec![
-        vec!["Memory access types".to_string(), "Cycles (measured)".to_string(), "Cycles (paper)".to_string()],
-        vec!["Global memory".into(), t.global_cycles.to_string(), "290".into()],
-        vec!["Shared memory (load)".into(), t.shared_load_cycles.to_string(), "23".into()],
-        vec!["Shared memory (store)".into(), t.shared_store_cycles.to_string(), "19".into()],
+        vec![
+            "Memory access types".to_string(),
+            "Cycles (measured)".to_string(),
+            "Cycles (paper)".to_string(),
+        ],
+        vec![
+            "Global memory".into(),
+            t.global_cycles.to_string(),
+            "290".into(),
+        ],
+        vec![
+            "Shared memory (load)".into(),
+            t.shared_load_cycles.to_string(),
+            "23".into(),
+        ],
+        vec![
+            "Shared memory (store)".into(),
+            t.shared_store_cycles.to_string(),
+            "19".into(),
+        ],
     ];
     print!("{}", render_table(&rows));
     println!("\nDevice: {}", cfg.name);

@@ -9,7 +9,10 @@ use convstencil_bench::report::{banner, render_table};
 use stencil_core::{AnyKernel, Grid2D};
 
 fn main() {
-    print!("{}", banner("Table 3: Memory expansion factors vs the input"));
+    print!(
+        "{}",
+        banner("Table 3: Memory expansion factors vs the input")
+    );
     // Measure on a real grid: 512x512, halo = radius.
     let (m, n) = (512usize, 512usize);
     let mut rows = vec![vec![
@@ -22,7 +25,9 @@ fn main() {
     ]];
     for row in table3() {
         let shape = row.shape;
-        let AnyKernel::D2(k) = shape.kernel() else { unreachable!() };
+        let AnyKernel::D2(k) = shape.kernel() else {
+            unreachable!()
+        };
         let grid = Grid2D::new(m, n, k.radius());
         let input_elems = (m * n) as f64;
         // Measured im2row: only the non-zero kernel columns are stored for

@@ -17,7 +17,10 @@ fn main() {
     let a100 = DeviceConfig::a100();
     let h100 = DeviceConfig::h100_like();
     let quick = quick_mode();
-    print!("{}", banner("What-if: ConvStencil on an H100-class device (extension, not a paper artifact)"));
+    print!(
+        "{}",
+        banner("What-if: ConvStencil on an H100-class device (extension, not a paper artifact)")
+    );
     println!(
         "A100: {:.1} TFLOPS FP64 tensor, {:.2} TB/s | H100-like: {:.1} TFLOPS, {:.2} TB/s\n",
         a100.peak_fp64_tensor_flops() / 1e12,
@@ -64,7 +67,12 @@ fn main() {
             format!("{ga:.1}"),
             format!("{gh:.1}"),
             format!("{:.2}x", gh / ga),
-            if cost.compute_bound() { "compute" } else { "memory" }.to_string(),
+            if cost.compute_bound() {
+                "compute"
+            } else {
+                "memory"
+            }
+            .to_string(),
         ]);
     }
     print!("{}", render_table(&rows));

@@ -32,7 +32,8 @@ pub fn project_report(
     let point_scale = target_points as f64 / report.points as f64;
     let step_scale = target_steps as f64 / report.steps as f64;
     let counters = report.counters.scaled(point_scale * step_scale);
-    let launches = ((report.launch_stats.kernel_launches as f64 * step_scale).round() as u64).max(1);
+    let launches =
+        ((report.launch_stats.kernel_launches as f64 * step_scale).round() as u64).max(1);
     let blocks = ((report.launch_stats.total_blocks as f64 * point_scale * step_scale).round()
         as u64)
         .max(launches);
@@ -64,8 +65,8 @@ mod tests {
             .unwrap();
         let cfg = DeviceConfig::a100();
         let p = project_report(&r.report, &cfg, 256 * 256, 3);
-        let rel = (p.gstencils_per_sec - r.report.gstencils_per_sec).abs()
-            / r.report.gstencils_per_sec;
+        let rel =
+            (p.gstencils_per_sec - r.report.gstencils_per_sec).abs() / r.report.gstencils_per_sec;
         assert!(rel < 1e-6, "rel err {rel}");
     }
 

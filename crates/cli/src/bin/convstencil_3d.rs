@@ -4,7 +4,10 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match convstencil_cli::parse_args(3, &argv) {
         Ok(args) => {
-            convstencil_cli::run_and_print(&args);
+            if let Err(e) = convstencil_cli::try_run_and_print(&args) {
+                eprintln!("convstencil_3d: error running {}: {e}", args.shape.name());
+                std::process::exit(1);
+            }
         }
         Err(msg) => {
             eprintln!("{msg}");

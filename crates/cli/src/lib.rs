@@ -19,7 +19,9 @@
 //! GStencil/s. Time is the *modelled* device time of the full problem
 //! (this is a simulator; see DESIGN.md).
 
-use convstencil::{ConvStencil1D, ConvStencil2D, ConvStencil3D, RunReport, VariantConfig};
+use convstencil::{
+    ConvStencil1D, ConvStencil2D, ConvStencil3D, ConvStencilError, RunReport, VariantConfig,
+};
 use stencil_core::{Grid1D, Grid2D, Grid3D, Kernel1D, Kernel2D, Kernel3D, Shape};
 use tcu_sim::{CostModel, DeviceConfig, LaunchStats};
 
@@ -43,9 +45,8 @@ pub fn parse_args(dim: usize, argv: &[String]) -> Result<CliArgs, String> {
     if argv.len() < dim + 2 {
         return Err(usage(dim));
     }
-    let shape = Shape::from_cli_name(&argv[0]).ok_or_else(|| {
-        format!("unknown shape '{}'\n{}", argv[0], usage(dim))
-    })?;
+    let shape = Shape::from_cli_name(&argv[0])
+        .ok_or_else(|| format!("unknown shape '{}'\n{}", argv[0], usage(dim)))?;
     if shape.dim() != dim {
         return Err(format!(
             "shape {} is {}-dimensional; this binary is convstencil_{}d\n{}",
@@ -74,11 +75,17 @@ pub fn parse_args(dim: usize, argv: &[String]) -> Result<CliArgs, String> {
                     2 => shape.nk() * shape.nk(),
                     _ => shape.nk() * shape.nk() * shape.nk(),
                 };
-                let vals: Result<Vec<f64>, _> =
-                    argv[i + 1..].iter().take(need).map(|a| a.parse::<f64>()).collect();
+                let vals: Result<Vec<f64>, _> = argv[i + 1..]
+                    .iter()
+                    .take(need)
+                    .map(|a| a.parse::<f64>())
+                    .collect();
                 let vals = vals.map_err(|_| "invalid --custom weights".to_string())?;
                 if vals.len() != need {
-                    return Err(format!("--custom needs {need} weights for {}", shape.name()));
+                    return Err(format!(
+                        "--custom needs {need} weights for {}",
+                        shape.name()
+                    ));
                 }
                 i += need;
                 custom_weights = Some(vals);
@@ -101,7 +108,10 @@ pub fn parse_args(dim: usize, argv: &[String]) -> Result<CliArgs, String> {
 pub fn usage(dim: usize) -> String {
     let (shapes, sizes) = match dim {
         1 => ("1d1r | 1d2r", "n"),
-        2 => ("star2d1r | box2d1r | star2d2r | box2d2r | star2d3r | box2d3r", "m n"),
+        2 => (
+            "star2d1r | box2d1r | star2d2r | box2d2r | star2d3r | box2d3r",
+            "m n",
+        ),
         _ => ("star3d1r | box3d1r", "d m n"),
     };
     format!(
@@ -117,13 +127,18 @@ fn cap(requested: usize, cap_to: usize) -> usize {
     requested.min(cap_to)
 }
 
-fn project_gstencils(report: &RunReport, cfg: &DeviceConfig, points: u64, steps: u64) -> (f64, f64) {
+fn project_gstencils(
+    report: &RunReport,
+    cfg: &DeviceConfig,
+    points: u64,
+    steps: u64,
+) -> (f64, f64) {
     let scale = points as f64 / report.points as f64 * steps as f64 / report.steps as f64;
     let counters = report.counters.scaled(scale);
-    let launches =
-        ((report.launch_stats.kernel_launches as f64 * steps as f64 / report.steps as f64).round()
-            as u64)
-            .max(1);
+    let launches = ((report.launch_stats.kernel_launches as f64 * steps as f64
+        / report.steps as f64)
+        .round() as u64)
+        .max(1);
     let blocks = ((report.launch_stats.total_blocks as f64 * scale).round() as u64).max(launches);
     let stats = LaunchStats {
         kernel_launches: launches,
@@ -135,9 +150,16 @@ fn project_gstencils(report: &RunReport, cfg: &DeviceConfig, points: u64, steps:
     (total, g)
 }
 
-/// Run one configuration and print the artifact-format output. Returns
-/// the modelled GStencils/s.
+/// [`try_run_and_print`] that panics on pipeline errors (kept for callers
+/// that predate the typed error surface).
 pub fn run_and_print(args: &CliArgs) -> f64 {
+    try_run_and_print(args).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Run one configuration and print the artifact-format output. Returns
+/// the modelled GStencils/s, or a typed error for any pipeline failure
+/// (bad kernel, zero-sized grid, device fault, ...).
+pub fn try_run_and_print(args: &CliArgs) -> Result<f64, ConvStencilError> {
     let cfg = DeviceConfig::a100();
     let dim = args.shape.dim();
     let max_side: usize = match (dim, args.quick) {
@@ -160,38 +182,50 @@ pub fn run_and_print(args: &CliArgs) -> f64 {
         match dim {
             1 => format!("n = {}", args.sizes[0]),
             2 => format!("m = {}, n = {}", args.sizes[0], args.sizes[1]),
-            _ => format!("d = {}, m = {}, n = {}", args.sizes[0], args.sizes[1], args.sizes[2]),
+            _ => format!(
+                "d = {}, m = {}, n = {}",
+                args.sizes[0], args.sizes[1], args.sizes[2]
+            ),
         },
         args.steps
     );
     let points: u64 = args.sizes.iter().map(|&s| s as u64).product();
     let mut last = 0.0;
     for (name, variant) in variants {
+        let missing_kernel = || ConvStencilError::InvalidKernel {
+            reason: format!("shape {} has no {dim}D kernel", args.shape.name()),
+        };
         let report = match dim {
             1 => {
                 let kernel = match &args.custom_weights {
                     Some(w) => Kernel1D::new(w.clone()),
-                    None => args.shape.kernel1d().unwrap(),
+                    None => args.shape.kernel1d().ok_or_else(missing_kernel)?,
                 };
                 let n = cap(args.sizes[0], max_side * 64);
                 let mut g = Grid1D::new(n, kernel.radius());
                 g.fill_random(42);
-                ConvStencil1D::new(kernel).with_variant(variant).run(&g, steps_sim).1
+                ConvStencil1D::try_new(kernel)?
+                    .with_variant(variant)
+                    .try_run(&g, steps_sim)?
+                    .1
             }
             2 => {
                 let kernel = match &args.custom_weights {
                     Some(w) => Kernel2D::new(args.shape.radius(), w.clone()),
-                    None => args.shape.kernel2d().unwrap(),
+                    None => args.shape.kernel2d().ok_or_else(missing_kernel)?,
                 };
                 let (m, n) = (cap(args.sizes[0], max_side), cap(args.sizes[1], max_side));
                 let mut g = Grid2D::new(m, n, kernel.radius());
                 g.fill_random(42);
-                ConvStencil2D::new(kernel).with_variant(variant).run(&g, steps_sim).1
+                ConvStencil2D::try_new(kernel)?
+                    .with_variant(variant)
+                    .try_run(&g, steps_sim)?
+                    .1
             }
             _ => {
                 let kernel = match &args.custom_weights {
                     Some(w) => Kernel3D::new(args.shape.radius(), w.clone()),
-                    None => args.shape.kernel3d().unwrap(),
+                    None => args.shape.kernel3d().ok_or_else(missing_kernel)?,
                 };
                 let (d, m, n) = (
                     cap(args.sizes[0], max_side / 4),
@@ -200,7 +234,10 @@ pub fn run_and_print(args: &CliArgs) -> f64 {
                 );
                 let mut g = Grid3D::new(d, m, n, kernel.radius());
                 g.fill_random(42);
-                ConvStencil3D::new(kernel).with_variant(variant).run(&g, steps_sim).1
+                ConvStencil3D::try_new(kernel)?
+                    .with_variant(variant)
+                    .try_run(&g, steps_sim)?
+                    .1
             }
         };
         let (time, gstencils) = project_gstencils(&report, &cfg, points, args.steps as u64);
@@ -213,7 +250,7 @@ pub fn run_and_print(args: &CliArgs) -> f64 {
         println!("GStencil/s = {gstencils:.6}");
         last = gstencils;
     }
-    last
+    Ok(last)
 }
 
 #[cfg(test)]
@@ -245,7 +282,12 @@ mod tests {
 
     #[test]
     fn custom_weights_parse() {
-        let mut args = vec!["1d1r".to_string(), "1000".into(), "4".into(), "--custom".into()];
+        let mut args = vec![
+            "1d1r".to_string(),
+            "1000".into(),
+            "4".into(),
+            "--custom".into(),
+        ];
         args.extend(["0.3", "0.4", "0.3"].iter().map(|s| s.to_string()));
         let a = parse_args(1, &args).unwrap();
         assert_eq!(a.custom_weights, Some(vec![0.3, 0.4, 0.3]));

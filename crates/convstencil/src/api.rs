@@ -12,16 +12,19 @@
 //! Steps not divisible by the fusion degree run their remainder through a
 //! smaller fused kernel, so any step count is supported exactly.
 
-use crate::exec1d::{run_1d_applications_bc, Exec1D};
-use crate::exec2d::{run_2d_applications_bc, Exec2D};
-use crate::exec3d::{run_3d_applications_bc, Exec3D};
+use crate::error::ConvStencilError;
+use crate::exec1d::{try_run_1d_applications_bc, Exec1D};
+use crate::exec2d::{try_run_2d_applications_bc, Exec2D};
+use crate::exec3d::{try_run_3d_applications_bc, Exec3D};
 use crate::variants::VariantConfig;
 use serde::{Deserialize, Serialize};
+use stencil_core::reference::{run1d, run2d, run3d};
 use stencil_core::{
-    auto_fusion_degree, fuse1d, fuse2d, Boundary, Grid1D, Grid2D, Grid3D, Kernel1D, Kernel2D,
-    Kernel3D,
+    auto_fusion_degree, check_close, fuse1d, fuse2d, run1d_periodic, run2d_periodic,
+    run3d_periodic, Boundary, Grid1D, Grid2D, Grid3D, Kernel1D, Kernel2D, Kernel3D, VerifyError,
+    DEFAULT_TOL,
 };
-use tcu_sim::{CostBreakdown, CostModel, Counters, Device, DeviceConfig, LaunchStats};
+use tcu_sim::{CostBreakdown, CostModel, Counters, Device, DeviceConfig, FaultPlan, LaunchStats};
 
 /// Largest kernel edge the FP64 fragment supports (n_k + 1 <= 8).
 pub const MAX_NK: usize = 7;
@@ -44,6 +47,20 @@ pub struct RunReport {
     /// everything except the TCStencil analog's FP64 adjustment, 0.25);
     /// projections to other problem sizes must re-apply it.
     pub throughput_scale: f64,
+    /// Faults the device's [`FaultPlan`] injected (all classes), summed
+    /// over every attempt of this run.
+    pub faults_injected: u64,
+    /// Corruptions the verified mode detected (failed sample checks plus
+    /// failed launches). Zero outside verified execution.
+    pub faults_detected: u64,
+    /// Full re-runs the verified mode performed after detections.
+    pub retries: u64,
+    /// True when verified execution exhausted its retries and fell back to
+    /// the naive CPU reference result.
+    pub degraded: bool,
+    /// True when the result was checked against the naive reference
+    /// (verified execution).
+    pub verified: bool,
 }
 
 impl RunReport {
@@ -60,8 +77,85 @@ impl RunReport {
             cost,
             gstencils_per_sec,
             throughput_scale: 1.0,
+            faults_injected: dev.counters.faults_injected(),
+            faults_detected: 0,
+            retries: 0,
+            degraded: false,
+            verified: false,
         }
     }
+}
+
+/// Configuration for verified execution: how the simulated result is
+/// spot-checked against the naive CPU reference and how hard to retry.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct VerifyConfig {
+    /// Mixed absolute/relative tolerance for the residual checks.
+    pub tol: f64,
+    /// Full re-runs allowed after a detected corruption before the runner
+    /// degrades to the reference result.
+    pub max_retries: u64,
+    /// Sampled tiles compared per attempt. `0` compares the entire grid
+    /// (strongest, costs one full pass).
+    pub sample_tiles: usize,
+    /// Contiguous elements per sampled tile.
+    pub tile: usize,
+    /// Seed of the tile-placement hash (deterministic placement).
+    pub seed: u64,
+}
+
+impl Default for VerifyConfig {
+    fn default() -> Self {
+        Self {
+            tol: DEFAULT_TOL,
+            max_retries: 2,
+            sample_tiles: 16,
+            tile: 32,
+            seed: 0x5EED,
+        }
+    }
+}
+
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Compare `got` against `want` on the configured sample tiles (or in
+/// full), reporting the first offending flat interior index.
+fn check_samples(got: &[f64], want: &[f64], cfg: &VerifyConfig) -> Result<(), VerifyError> {
+    if got.len() != want.len() {
+        return Err(VerifyError::LengthMismatch {
+            left: got.len(),
+            right: want.len(),
+        });
+    }
+    if cfg.sample_tiles == 0 || cfg.sample_tiles * cfg.tile >= got.len() {
+        return check_close(got, want, cfg.tol);
+    }
+    for t in 0..cfg.sample_tiles {
+        let start = (mix64(cfg.seed ^ mix64(t as u64 + 1)) % got.len() as u64) as usize;
+        let end = (start + cfg.tile).min(got.len());
+        if let Err(VerifyError::Mismatch {
+            index,
+            left,
+            right,
+            mixed_err,
+            tol,
+        }) = check_close(&got[start..end], &want[start..end], cfg.tol)
+        {
+            return Err(VerifyError::Mismatch {
+                index: start + index,
+                left,
+                right,
+                mixed_err,
+                tol,
+            });
+        }
+    }
+    Ok(())
 }
 
 /// 2D ConvStencil runner.
@@ -73,6 +167,7 @@ pub struct ConvStencil2D {
     variant: VariantConfig,
     device: DeviceConfig,
     boundary: Boundary,
+    fault: Option<FaultPlan>,
 }
 
 impl ConvStencil2D {
@@ -82,22 +177,41 @@ impl ConvStencil2D {
         Self::with_fusion(kernel, fusion)
     }
 
+    /// Fallible twin of [`ConvStencil2D::new`].
+    pub fn try_new(kernel: Kernel2D) -> Result<Self, ConvStencilError> {
+        let fusion = auto_fusion_degree(kernel.radius(), MAX_NK);
+        Self::try_with_fusion(kernel, fusion)
+    }
+
     /// Build with an explicit fusion degree (1 = none).
     pub fn with_fusion(kernel: Kernel2D, fusion: usize) -> Self {
-        assert!(fusion >= 1);
-        assert!(
-            2 * kernel.radius() * fusion < MAX_NK,
-            "fused kernel exceeds n_k = {MAX_NK}"
-        );
+        Self::try_with_fusion(kernel, fusion).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`ConvStencil2D::with_fusion`].
+    pub fn try_with_fusion(kernel: Kernel2D, fusion: usize) -> Result<Self, ConvStencilError> {
+        if fusion < 1 {
+            return Err(ConvStencilError::PlanInvariant {
+                reason: "fusion degree must be >= 1".to_string(),
+            });
+        }
+        if 2 * kernel.radius() * fusion >= MAX_NK {
+            return Err(ConvStencilError::FusionTooDeep {
+                radius: kernel.radius(),
+                fusion,
+                max_nk: MAX_NK,
+            });
+        }
         let fused = fuse2d(&kernel, fusion);
-        Self {
+        Ok(Self {
             kernel,
             fused,
             fusion,
             variant: VariantConfig::conv_stencil(),
             device: DeviceConfig::a100(),
             boundary: Boundary::Dirichlet,
-        }
+            fault: None,
+        })
     }
 
     /// Choose the boundary condition. Under [`Boundary::Periodic`] the
@@ -121,6 +235,15 @@ impl ConvStencil2D {
         self
     }
 
+    /// Inject deterministic faults (see [`FaultPlan`]) into every device
+    /// this runner creates. Combine with
+    /// [`ConvStencil2D::try_run_verified`] to detect and recover from
+    /// them.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
     /// The automatic (or requested) fusion degree.
     pub fn fusion(&self) -> usize {
         self.fusion
@@ -141,8 +264,101 @@ impl ConvStencil2D {
     /// Fig. 4), so the CUDA-core breakdown variants (I/II) run unfused —
     /// fusing would only inflate their FLOP count.
     pub fn run(&self, grid: &Grid2D, steps: usize) -> (Grid2D, RunReport) {
+        self.try_run(grid, steps).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`ConvStencil2D::run`].
+    pub fn try_run(
+        &self,
+        grid: &Grid2D,
+        steps: usize,
+    ) -> Result<(Grid2D, RunReport), ConvStencilError> {
         let (m, n) = (grid.rows(), grid.cols());
+        if m == 0 || n == 0 {
+            return Err(ConvStencilError::ZeroSizedGrid { dims: vec![m, n] });
+        }
+        let mut dev = self.make_device();
+        let current = self.try_run_on(&mut dev, grid, steps)?;
+        let report = RunReport::from_device(&dev, (m * n) as u64, steps as u64);
+        Ok((current, report))
+    }
+
+    /// [`ConvStencil2D::try_run_verified`] that panics on error.
+    pub fn run_verified(&self, grid: &Grid2D, steps: usize) -> (Grid2D, RunReport) {
+        self.try_run_verified(grid, steps)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Verified execution with the default [`VerifyConfig`]: the simulated
+    /// result is checked against the naive CPU reference, corrupted runs
+    /// are retried (under a fresh fault epoch), and if every retry is
+    /// corrupted the reference result itself is returned with
+    /// `report.degraded = true`.
+    pub fn try_run_verified(
+        &self,
+        grid: &Grid2D,
+        steps: usize,
+    ) -> Result<(Grid2D, RunReport), ConvStencilError> {
+        self.try_run_verified_with(grid, steps, VerifyConfig::default())
+    }
+
+    /// Verified execution with an explicit [`VerifyConfig`].
+    pub fn try_run_verified_with(
+        &self,
+        grid: &Grid2D,
+        steps: usize,
+        cfg: VerifyConfig,
+    ) -> Result<(Grid2D, RunReport), ConvStencilError> {
+        let (m, n) = (grid.rows(), grid.cols());
+        if m == 0 || n == 0 {
+            return Err(ConvStencilError::ZeroSizedGrid { dims: vec![m, n] });
+        }
+        let reference = self.reference_run(grid, steps);
+        let want = reference.interior();
+        let mut dev = self.make_device();
+        let mut detected = 0u64;
+        let mut retries = 0u64;
+        for attempt in 0..=cfg.max_retries {
+            if attempt > 0 {
+                dev.advance_fault_epoch();
+                retries += 1;
+            }
+            match self.try_run_on(&mut dev, grid, steps) {
+                Ok(out) => match check_samples(&out.interior(), &want, &cfg) {
+                    Ok(()) => {
+                        let mut report = RunReport::from_device(&dev, (m * n) as u64, steps as u64);
+                        report.verified = true;
+                        report.faults_detected = detected;
+                        report.retries = retries;
+                        return Ok((out, report));
+                    }
+                    Err(_) => detected += 1,
+                },
+                Err(ConvStencilError::Device(_)) => detected += 1,
+                Err(other) => return Err(other),
+            }
+        }
+        let mut report = RunReport::from_device(&dev, (m * n) as u64, steps as u64);
+        report.verified = true;
+        report.faults_detected = detected;
+        report.retries = retries;
+        report.degraded = true;
+        Ok((reference, report))
+    }
+
+    fn make_device(&self) -> Device {
         let mut dev = Device::new(self.device.clone());
+        dev.set_fault_plan(self.fault);
+        dev
+    }
+
+    /// One full run on an existing device (counters accumulate).
+    fn try_run_on(
+        &self,
+        dev: &mut Device,
+        grid: &Grid2D,
+        steps: usize,
+    ) -> Result<Grid2D, ConvStencilError> {
         let mut current = grid.clone();
         let fusion = if self.variant.use_tcu { self.fusion } else { 1 };
         let fused = if fusion == self.fusion {
@@ -153,28 +369,76 @@ impl ConvStencil2D {
         let full_apps = steps / fusion;
         let remainder = steps % fusion;
         if full_apps > 0 {
-            current = self.run_apps(&mut dev, &current, &fused, full_apps);
+            current = self.try_run_apps(dev, &current, &fused, full_apps)?;
         }
         if remainder > 0 {
             let rem_kernel = fuse2d(&self.kernel, remainder);
-            current = self.run_apps(&mut dev, &current, &rem_kernel, 1);
+            current = self.try_run_apps(dev, &current, &rem_kernel, 1)?;
         }
-        let report = RunReport::from_device(&dev, (m * n) as u64, steps as u64);
-        (current, report)
+        Ok(current)
     }
 
-    fn run_apps(&self, dev: &mut Device, grid: &Grid2D, kernel: &Kernel2D, apps: usize) -> Grid2D {
-        let exec = Exec2D::new(kernel, grid.rows(), grid.cols(), self.variant);
+    /// CPU ground truth mirroring the device decomposition exactly: the
+    /// same fusion split and the same frozen-halo semantics per
+    /// application (periodic boundaries wrap instead, where fusion is
+    /// exact).
+    fn reference_run(&self, grid: &Grid2D, steps: usize) -> Grid2D {
+        if self.boundary == Boundary::Periodic {
+            return run2d_periodic(grid, &self.kernel, steps);
+        }
+        let fusion = if self.variant.use_tcu { self.fusion } else { 1 };
+        let fused = if fusion == self.fusion {
+            self.fused.clone()
+        } else {
+            self.kernel.clone()
+        };
+        let full_apps = steps / fusion;
+        let remainder = steps % fusion;
+        let mut current = grid.clone();
+        if full_apps > 0 {
+            current = self.reference_apps(&current, &fused, full_apps);
+        }
+        if remainder > 0 {
+            let rem_kernel = fuse2d(&self.kernel, remainder);
+            current = self.reference_apps(&current, &rem_kernel, 1);
+        }
+        current
+    }
+
+    fn reference_apps(&self, grid: &Grid2D, kernel: &Kernel2D, apps: usize) -> Grid2D {
         let work = if grid.halo() >= kernel.radius() {
             grid.clone()
         } else {
             grid.with_halo(kernel.radius())
         };
-        let ext0 = exec.plan.build_ext(&work);
-        let ext = run_2d_applications_bc(dev, &exec, &ext0, apps, self.boundary);
+        let res = run2d(&work, kernel, apps);
+        let mut out = grid.clone();
+        for x in 0..grid.rows() {
+            for y in 0..grid.cols() {
+                out.set(x, y, res.get(x, y));
+            }
+        }
+        out
+    }
+
+    fn try_run_apps(
+        &self,
+        dev: &mut Device,
+        grid: &Grid2D,
+        kernel: &Kernel2D,
+        apps: usize,
+    ) -> Result<Grid2D, ConvStencilError> {
+        let exec = Exec2D::try_new(kernel, grid.rows(), grid.cols(), self.variant)?;
+        let work = if grid.halo() >= kernel.radius() {
+            grid.clone()
+        } else {
+            grid.with_halo(kernel.radius())
+        };
+        let ext0 = exec.plan.try_build_ext(&work)?;
+        let ext = try_run_2d_applications_bc(dev, &exec, &ext0, apps, self.boundary)?;
         let mut out = grid.clone();
         exec.plan.extract_into(&ext, &mut out);
-        out
+        Ok(out)
     }
 }
 
@@ -187,6 +451,7 @@ pub struct ConvStencil1D {
     variant: VariantConfig,
     device: DeviceConfig,
     boundary: Boundary,
+    fault: Option<FaultPlan>,
 }
 
 impl ConvStencil1D {
@@ -195,18 +460,40 @@ impl ConvStencil1D {
         Self::with_fusion(kernel, fusion)
     }
 
+    /// Fallible twin of [`ConvStencil1D::new`].
+    pub fn try_new(kernel: Kernel1D) -> Result<Self, ConvStencilError> {
+        let fusion = auto_fusion_degree(kernel.radius(), MAX_NK);
+        Self::try_with_fusion(kernel, fusion)
+    }
+
     pub fn with_fusion(kernel: Kernel1D, fusion: usize) -> Self {
-        assert!(fusion >= 1);
-        assert!(2 * kernel.radius() * fusion < MAX_NK);
+        Self::try_with_fusion(kernel, fusion).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`ConvStencil1D::with_fusion`].
+    pub fn try_with_fusion(kernel: Kernel1D, fusion: usize) -> Result<Self, ConvStencilError> {
+        if fusion < 1 {
+            return Err(ConvStencilError::PlanInvariant {
+                reason: "fusion degree must be >= 1".to_string(),
+            });
+        }
+        if 2 * kernel.radius() * fusion >= MAX_NK {
+            return Err(ConvStencilError::FusionTooDeep {
+                radius: kernel.radius(),
+                fusion,
+                max_nk: MAX_NK,
+            });
+        }
         let fused = fuse1d(&kernel, fusion);
-        Self {
+        Ok(Self {
             kernel,
             fused,
             fusion,
             variant: VariantConfig::conv_stencil(),
             device: DeviceConfig::a100(),
             boundary: Boundary::Dirichlet,
-        }
+            fault: None,
+        })
     }
 
     /// Choose the boundary condition (see [`ConvStencil2D::with_boundary`]).
@@ -222,6 +509,12 @@ impl ConvStencil1D {
 
     pub fn with_device(mut self, device: DeviceConfig) -> Self {
         self.device = device;
+        self
+    }
+
+    /// Inject deterministic faults into every device this runner creates.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
         self
     }
 
@@ -236,8 +529,96 @@ impl ConvStencil1D {
     /// Advance `steps` time steps (see [`ConvStencil2D::run`] on fusion
     /// and CUDA-core variants).
     pub fn run(&self, grid: &Grid1D, steps: usize) -> (Grid1D, RunReport) {
+        self.try_run(grid, steps).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`ConvStencil1D::run`].
+    pub fn try_run(
+        &self,
+        grid: &Grid1D,
+        steps: usize,
+    ) -> Result<(Grid1D, RunReport), ConvStencilError> {
         let n = grid.len();
+        if n == 0 {
+            return Err(ConvStencilError::ZeroSizedGrid { dims: vec![n] });
+        }
+        let mut dev = self.make_device();
+        let current = self.try_run_on(&mut dev, grid, steps)?;
+        let report = RunReport::from_device(&dev, n as u64, steps as u64);
+        Ok((current, report))
+    }
+
+    /// [`ConvStencil1D::try_run_verified`] that panics on error.
+    pub fn run_verified(&self, grid: &Grid1D, steps: usize) -> (Grid1D, RunReport) {
+        self.try_run_verified(grid, steps)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Verified execution (see [`ConvStencil2D::try_run_verified`]).
+    pub fn try_run_verified(
+        &self,
+        grid: &Grid1D,
+        steps: usize,
+    ) -> Result<(Grid1D, RunReport), ConvStencilError> {
+        self.try_run_verified_with(grid, steps, VerifyConfig::default())
+    }
+
+    /// Verified execution with an explicit [`VerifyConfig`].
+    pub fn try_run_verified_with(
+        &self,
+        grid: &Grid1D,
+        steps: usize,
+        cfg: VerifyConfig,
+    ) -> Result<(Grid1D, RunReport), ConvStencilError> {
+        let n = grid.len();
+        if n == 0 {
+            return Err(ConvStencilError::ZeroSizedGrid { dims: vec![n] });
+        }
+        let reference = self.reference_run(grid, steps);
+        let want = reference.interior();
+        let mut dev = self.make_device();
+        let mut detected = 0u64;
+        let mut retries = 0u64;
+        for attempt in 0..=cfg.max_retries {
+            if attempt > 0 {
+                dev.advance_fault_epoch();
+                retries += 1;
+            }
+            match self.try_run_on(&mut dev, grid, steps) {
+                Ok(out) => match check_samples(&out.interior(), &want, &cfg) {
+                    Ok(()) => {
+                        let mut report = RunReport::from_device(&dev, n as u64, steps as u64);
+                        report.verified = true;
+                        report.faults_detected = detected;
+                        report.retries = retries;
+                        return Ok((out, report));
+                    }
+                    Err(_) => detected += 1,
+                },
+                Err(ConvStencilError::Device(_)) => detected += 1,
+                Err(other) => return Err(other),
+            }
+        }
+        let mut report = RunReport::from_device(&dev, n as u64, steps as u64);
+        report.verified = true;
+        report.faults_detected = detected;
+        report.retries = retries;
+        report.degraded = true;
+        Ok((reference, report))
+    }
+
+    fn make_device(&self) -> Device {
         let mut dev = Device::new(self.device.clone());
+        dev.set_fault_plan(self.fault);
+        dev
+    }
+
+    fn try_run_on(
+        &self,
+        dev: &mut Device,
+        grid: &Grid1D,
+        steps: usize,
+    ) -> Result<Grid1D, ConvStencilError> {
         let mut current = grid.clone();
         let fusion = if self.variant.use_tcu { self.fusion } else { 1 };
         let fused = if fusion == self.fusion {
@@ -248,28 +629,72 @@ impl ConvStencil1D {
         let full_apps = steps / fusion;
         let remainder = steps % fusion;
         if full_apps > 0 {
-            current = self.run_apps(&mut dev, &current, &fused, full_apps);
+            current = self.try_run_apps(dev, &current, &fused, full_apps)?;
         }
         if remainder > 0 {
             let rem_kernel = fuse1d(&self.kernel, remainder);
-            current = self.run_apps(&mut dev, &current, &rem_kernel, 1);
+            current = self.try_run_apps(dev, &current, &rem_kernel, 1)?;
         }
-        let report = RunReport::from_device(&dev, n as u64, steps as u64);
-        (current, report)
+        Ok(current)
     }
 
-    fn run_apps(&self, dev: &mut Device, grid: &Grid1D, kernel: &Kernel1D, apps: usize) -> Grid1D {
-        let exec = Exec1D::new(kernel, grid.len(), self.variant);
+    /// CPU ground truth mirroring the device decomposition (see
+    /// [`ConvStencil2D::reference_run`]).
+    fn reference_run(&self, grid: &Grid1D, steps: usize) -> Grid1D {
+        if self.boundary == Boundary::Periodic {
+            return run1d_periodic(grid, &self.kernel, steps);
+        }
+        let fusion = if self.variant.use_tcu { self.fusion } else { 1 };
+        let fused = if fusion == self.fusion {
+            self.fused.clone()
+        } else {
+            self.kernel.clone()
+        };
+        let full_apps = steps / fusion;
+        let remainder = steps % fusion;
+        let mut current = grid.clone();
+        if full_apps > 0 {
+            current = self.reference_apps(&current, &fused, full_apps);
+        }
+        if remainder > 0 {
+            let rem_kernel = fuse1d(&self.kernel, remainder);
+            current = self.reference_apps(&current, &rem_kernel, 1);
+        }
+        current
+    }
+
+    fn reference_apps(&self, grid: &Grid1D, kernel: &Kernel1D, apps: usize) -> Grid1D {
         let work = if grid.halo() >= kernel.radius() {
             grid.clone()
         } else {
             grid.with_halo(kernel.radius())
         };
-        let ext0 = exec.plan.build_ext(&work);
-        let ext = run_1d_applications_bc(dev, &exec, &ext0, apps, self.boundary);
+        let res = run1d(&work, kernel, apps);
+        let mut out = grid.clone();
+        for i in 0..grid.len() {
+            out.set(i, res.get(i));
+        }
+        out
+    }
+
+    fn try_run_apps(
+        &self,
+        dev: &mut Device,
+        grid: &Grid1D,
+        kernel: &Kernel1D,
+        apps: usize,
+    ) -> Result<Grid1D, ConvStencilError> {
+        let exec = Exec1D::try_new(kernel, grid.len(), self.variant)?;
+        let work = if grid.halo() >= kernel.radius() {
+            grid.clone()
+        } else {
+            grid.with_halo(kernel.radius())
+        };
+        let ext0 = exec.plan.try_build_ext(&work)?;
+        let ext = try_run_1d_applications_bc(dev, &exec, &ext0, apps, self.boundary)?;
         let mut out = grid.clone();
         exec.plan.extract_into(&ext, &mut out);
-        out
+        Ok(out)
     }
 }
 
@@ -282,17 +707,26 @@ pub struct ConvStencil3D {
     variant: VariantConfig,
     device: DeviceConfig,
     boundary: Boundary,
+    fault: Option<FaultPlan>,
 }
 
 impl ConvStencil3D {
     pub fn new(kernel: Kernel3D) -> Self {
-        assert!(kernel.nk() <= MAX_NK);
-        Self {
+        Self::try_new(kernel).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`ConvStencil3D::new`].
+    pub fn try_new(kernel: Kernel3D) -> Result<Self, ConvStencilError> {
+        if kernel.nk() > MAX_NK {
+            return Err(ConvStencilError::UnsupportedNk { nk: kernel.nk() });
+        }
+        Ok(Self {
             kernel,
             variant: VariantConfig::conv_stencil(),
             device: DeviceConfig::a100(),
             boundary: Boundary::Dirichlet,
-        }
+            fault: None,
+        })
     }
 
     /// Choose the boundary condition (see [`ConvStencil2D::with_boundary`]).
@@ -311,16 +745,125 @@ impl ConvStencil3D {
         self
     }
 
+    /// Inject deterministic faults into every device this runner creates.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
     pub fn run(&self, grid: &Grid3D, steps: usize) -> (Grid3D, RunReport) {
+        self.try_run(grid, steps).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`ConvStencil3D::run`].
+    pub fn try_run(
+        &self,
+        grid: &Grid3D,
+        steps: usize,
+    ) -> Result<(Grid3D, RunReport), ConvStencilError> {
         let (d, m, n) = (grid.depth(), grid.rows(), grid.cols());
+        if d == 0 || m == 0 || n == 0 {
+            return Err(ConvStencilError::ZeroSizedGrid {
+                dims: vec![d, m, n],
+            });
+        }
+        let mut dev = self.make_device();
+        let out = self.try_run_on(&mut dev, grid, steps)?;
+        let report = RunReport::from_device(&dev, (d * m * n) as u64, steps as u64);
+        Ok((out, report))
+    }
+
+    /// [`ConvStencil3D::try_run_verified`] that panics on error.
+    pub fn run_verified(&self, grid: &Grid3D, steps: usize) -> (Grid3D, RunReport) {
+        self.try_run_verified(grid, steps)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Verified execution (see [`ConvStencil2D::try_run_verified`]).
+    pub fn try_run_verified(
+        &self,
+        grid: &Grid3D,
+        steps: usize,
+    ) -> Result<(Grid3D, RunReport), ConvStencilError> {
+        self.try_run_verified_with(grid, steps, VerifyConfig::default())
+    }
+
+    /// Verified execution with an explicit [`VerifyConfig`].
+    pub fn try_run_verified_with(
+        &self,
+        grid: &Grid3D,
+        steps: usize,
+        cfg: VerifyConfig,
+    ) -> Result<(Grid3D, RunReport), ConvStencilError> {
+        let (d, m, n) = (grid.depth(), grid.rows(), grid.cols());
+        if d == 0 || m == 0 || n == 0 {
+            return Err(ConvStencilError::ZeroSizedGrid {
+                dims: vec![d, m, n],
+            });
+        }
+        let points = (d * m * n) as u64;
+        let reference = self.reference_run(grid, steps);
+        let want = reference.interior();
+        let mut dev = self.make_device();
+        let mut detected = 0u64;
+        let mut retries = 0u64;
+        for attempt in 0..=cfg.max_retries {
+            if attempt > 0 {
+                dev.advance_fault_epoch();
+                retries += 1;
+            }
+            match self.try_run_on(&mut dev, grid, steps) {
+                Ok(out) => match check_samples(&out.interior(), &want, &cfg) {
+                    Ok(()) => {
+                        let mut report = RunReport::from_device(&dev, points, steps as u64);
+                        report.verified = true;
+                        report.faults_detected = detected;
+                        report.retries = retries;
+                        return Ok((out, report));
+                    }
+                    Err(_) => detected += 1,
+                },
+                Err(ConvStencilError::Device(_)) => detected += 1,
+                Err(other) => return Err(other),
+            }
+        }
+        let mut report = RunReport::from_device(&dev, points, steps as u64);
+        report.verified = true;
+        report.faults_detected = detected;
+        report.retries = retries;
+        report.degraded = true;
+        Ok((reference, report))
+    }
+
+    fn make_device(&self) -> Device {
         let mut dev = Device::new(self.device.clone());
-        let exec = Exec3D::new(&self.kernel, d, m, n, self.variant);
-        let ext0 = exec.build_ext(grid);
-        let ext = run_3d_applications_bc(&mut dev, &exec, &ext0, steps, self.boundary);
+        dev.set_fault_plan(self.fault);
+        dev
+    }
+
+    fn try_run_on(
+        &self,
+        dev: &mut Device,
+        grid: &Grid3D,
+        steps: usize,
+    ) -> Result<Grid3D, ConvStencilError> {
+        let (d, m, n) = (grid.depth(), grid.rows(), grid.cols());
+        let exec = Exec3D::try_new(&self.kernel, d, m, n, self.variant)?;
+        let ext0 = exec.try_build_ext(grid)?;
+        let ext = try_run_3d_applications_bc(dev, &exec, &ext0, steps, self.boundary)?;
         let mut out = grid.clone();
         exec.extract_into(&ext, &mut out);
-        let report = RunReport::from_device(&dev, (d * m * n) as u64, steps as u64);
-        (out, report)
+        Ok(out)
+    }
+
+    /// CPU ground truth: 3D has no temporal fusion, so the reference is a
+    /// plain naive run under the configured boundary condition.
+    fn reference_run(&self, grid: &Grid3D, steps: usize) -> Grid3D {
+        if self.boundary == Boundary::Periodic {
+            run3d_periodic(grid, &self.kernel, steps)
+        } else {
+            run3d(grid, &self.kernel, steps)
+        }
     }
 }
 

@@ -6,6 +6,7 @@
 //! outputs. One thread block covers 1024 outputs (Table 4's 1D block
 //! size) — 128 groups for `n_k = 7`.
 
+use crate::error::ConvStencilError;
 use crate::plan::LUT_SKIP;
 use crate::variants::VariantConfig;
 use crate::weights::{WeightMatrices, FRAG_K};
@@ -42,7 +43,17 @@ pub struct Plan1D {
 
 impl Plan1D {
     pub fn new(n: usize, nk: usize, variant: VariantConfig) -> Self {
-        assert!(nk % 2 == 1 && (3..=7).contains(&nk));
+        Self::try_new(n, nk, variant).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`Plan1D::new`].
+    pub fn try_new(n: usize, nk: usize, variant: VariantConfig) -> Result<Self, ConvStencilError> {
+        if !(nk % 2 == 1 && (3..=7).contains(&nk)) {
+            return Err(ConvStencilError::UnsupportedNk { nk });
+        }
+        if n == 0 {
+            return Err(ConvStencilError::ZeroSizedGrid { dims: vec![n] });
+        }
         let radius = (nk - 1) / 2;
         let krows = nk.div_ceil(FRAG_K) * FRAG_K;
         // Cover ~1024 outputs per block (Table 4), in multiples of 8
@@ -79,7 +90,7 @@ impl Plan1D {
         let wa_off = 2 * tile_size;
         let wb_off = wa_off + krows * 8;
         let shared_total = wb_off + krows * 8;
-        Self {
+        Ok(Self {
             nk,
             radius,
             n,
@@ -99,7 +110,7 @@ impl Plan1D {
             wb_off,
             shared_total,
             krows,
-        }
+        })
     }
 
     pub fn read_col0(&self, b: usize) -> usize {
@@ -108,9 +119,24 @@ impl Plan1D {
 
     /// Build the extended array from a 1D grid.
     pub fn build_ext(&self, grid: &stencil_core::Grid1D) -> Vec<f64> {
-        assert_eq!(grid.len(), self.n);
+        self.try_build_ext(grid).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`Plan1D::build_ext`].
+    pub fn try_build_ext(&self, grid: &stencil_core::Grid1D) -> Result<Vec<f64>, ConvStencilError> {
+        if grid.len() != self.n {
+            return Err(ConvStencilError::ShapeMismatch {
+                expected: vec![self.n],
+                got: vec![grid.len()],
+            });
+        }
         let h = grid.halo();
-        assert!(h >= self.radius);
+        if h < self.radius {
+            return Err(ConvStencilError::HaloTooSmall {
+                halo: h,
+                radius: self.radius,
+            });
+        }
         let mut ext = vec![0.0; self.ext_len];
         for (c, e) in ext.iter_mut().enumerate() {
             let py = (c + h).wrapping_sub(self.lc);
@@ -118,7 +144,7 @@ impl Plan1D {
                 *e = grid.padded()[py];
             }
         }
-        ext
+        Ok(ext)
     }
 
     /// Extract the interior from an extended array.
@@ -145,7 +171,16 @@ pub struct Exec1D {
 
 impl Exec1D {
     pub fn new(kernel: &Kernel1D, n: usize, variant: VariantConfig) -> Self {
-        let plan = Plan1D::new(n, kernel.nk(), variant);
+        Self::try_new(kernel, n, variant).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`Exec1D::new`].
+    pub fn try_new(
+        kernel: &Kernel1D,
+        n: usize,
+        variant: VariantConfig,
+    ) -> Result<Self, ConvStencilError> {
+        let plan = Plan1D::try_new(n, kernel.nk(), variant)?;
         let weights = WeightMatrices::from_kernel1d(kernel);
         let nk = plan.nk;
         let mut lut = vec![[LUT_SKIP, LUT_SKIP]; plan.span_aligned];
@@ -203,14 +238,14 @@ impl Exec1D {
                 colmap.push((false, cb / (nk + 1), cb % (nk + 1)));
             }
         }
-        Self {
+        Ok(Self {
             plan,
             variant,
             weights,
             lut,
             taps,
             colmap,
-        }
+        })
     }
 
     pub fn shared_len(&self) -> usize {
@@ -228,28 +263,48 @@ impl Exec1D {
         ext_out: BufferId,
         explicit: Option<(BufferId, BufferId)>,
     ) {
+        self.try_run_application(dev, ext_in, ext_out, explicit)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`Exec1D::run_application`].
+    pub fn try_run_application(
+        &self,
+        dev: &mut Device,
+        ext_in: BufferId,
+        ext_out: BufferId,
+        explicit: Option<(BufferId, BufferId)>,
+    ) -> Result<(), ConvStencilError> {
         if self.variant.explicit_global {
-            let bufs = explicit.expect("explicit variant needs scratch buffers");
-            self.run_transform(dev, ext_in, bufs);
-            self.run_compute(dev, ext_in, ext_out, Some(bufs));
+            let bufs = explicit.ok_or(ConvStencilError::ScratchMismatch { expected: true })?;
+            self.run_transform(dev, ext_in, bufs)?;
+            self.run_compute(dev, ext_in, ext_out, Some(bufs))
         } else {
-            self.run_compute(dev, ext_in, ext_out, None);
+            self.run_compute(dev, ext_in, ext_out, None)
         }
     }
 
     pub fn alloc_explicit(&self, dev: &mut Device) -> (BufferId, BufferId) {
         let rows = self.plan.blocks * self.plan.block_groups;
-        (dev.alloc(rows * self.plan.nk), dev.alloc(rows * self.plan.nk))
+        (
+            dev.alloc(rows * self.plan.nk),
+            dev.alloc(rows * self.plan.nk),
+        )
     }
 
-    fn run_transform(&self, dev: &mut Device, ext_in: BufferId, bufs: (BufferId, BufferId)) {
+    fn run_transform(
+        &self,
+        dev: &mut Device,
+        ext_in: BufferId,
+        bufs: (BufferId, BufferId),
+    ) -> Result<(), ConvStencilError> {
         let p = &self.plan;
         let nk = p.nk;
         let rows = p.blocks * p.block_groups;
         let chunk = 4096usize;
         let num_blocks = p.ext_len.div_ceil(chunk);
         let first = p.lc - p.radius;
-        dev.launch(num_blocks, 64, |bid, ctx| {
+        dev.try_launch(num_blocks, 64, |bid, ctx| {
             let c0 = bid * chunk;
             let c1 = (c0 + chunk).min(p.ext_len);
             let vals = ctx.gmem_read_span(ext_in, c0, c1 - c0);
@@ -266,7 +321,11 @@ impl Exec1D {
                 ctx.count_int(4);
                 let g = c / (nk + 1);
                 let off = c % (nk + 1);
-                a_addrs[lane] = if off != nk && g < rows { g * nk + off } else { INACTIVE };
+                a_addrs[lane] = if off != nk && g < rows {
+                    g * nk + off
+                } else {
+                    INACTIVE
+                };
                 b_addrs[lane] = match c.checked_sub(nk) {
                     Some(cb) if (cb + 1) % (nk + 1) != 0 && cb / (nk + 1) < rows => {
                         Some(cb / (nk + 1) * nk + cb % (nk + 1))
@@ -286,7 +345,8 @@ impl Exec1D {
                 ctx.gmem_write_warp(bufs.0, &a_addrs[..lane], &a_vals[..lane]);
                 ctx.gmem_write_warp(bufs.1, &b_addrs[..lane], &a_vals[..lane]);
             }
-        });
+        })?;
+        Ok(())
     }
 
     fn run_compute(
@@ -295,9 +355,9 @@ impl Exec1D {
         ext_in: BufferId,
         ext_out: BufferId,
         explicit: Option<(BufferId, BufferId)>,
-    ) {
+    ) -> Result<(), ConvStencilError> {
         let p = &self.plan;
-        dev.launch(p.blocks, self.shared_len(), |bid, ctx| {
+        dev.try_launch(p.blocks, self.shared_len(), |bid, ctx| {
             match explicit {
                 Some(bufs) => self.stage_from_global(ctx, bufs, bid),
                 None => self.scatter(ctx, ext_in, bid),
@@ -307,7 +367,8 @@ impl Exec1D {
             } else {
                 self.compute_cuda(ctx, ext_out, bid);
             }
-        });
+        })?;
+        Ok(())
     }
 
     fn scatter(&self, ctx: &mut BlockCtx, ext_in: BufferId, bid: usize) {
@@ -400,8 +461,12 @@ impl Exec1D {
         }
         let chunks = w.krows / 4;
         (
-            (0..chunks).map(|k| ctx.load_frag_b(p.wa_off + 4 * k * 8, 8)).collect(),
-            (0..chunks).map(|k| ctx.load_frag_b(p.wb_off + 4 * k * 8, 8)).collect(),
+            (0..chunks)
+                .map(|k| ctx.load_frag_b(p.wa_off + 4 * k * 8, 8))
+                .collect(),
+            (0..chunks)
+                .map(|k| ctx.load_frag_b(p.wb_off + 4 * k * 8, 8))
+                .collect(),
         )
     }
 
@@ -487,14 +552,29 @@ impl Exec1D {
 
 /// Simulated periodic halo exchange on an extended 1D array.
 pub fn halo_exchange_1d(dev: &mut Device, ext: BufferId, plan: &Plan1D) {
+    try_halo_exchange_1d(dev, ext, plan).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible twin of [`halo_exchange_1d`].
+pub fn try_halo_exchange_1d(
+    dev: &mut Device,
+    ext: BufferId,
+    plan: &Plan1D,
+) -> Result<(), ConvStencilError> {
     let (n, r, lc) = (plan.n, plan.radius, plan.lc);
-    assert!(n >= r, "periodic wrap needs interior >= radius");
-    dev.launch(1, 64, |_, ctx| {
+    if n < r {
+        return Err(ConvStencilError::InteriorTooSmall {
+            interior: n,
+            radius: r,
+        });
+    }
+    dev.try_launch(1, 64, |_, ctx| {
         let left = ctx.gmem_read_span(ext, lc + n - r, r);
         ctx.gmem_write_span(ext, lc - r, &left);
         let right = ctx.gmem_read_span(ext, lc, r);
         ctx.gmem_write_span(ext, lc + n, &right);
-    });
+    })?;
+    Ok(())
 }
 
 /// Run `apps` applications over a fresh buffer pair; returns the final
@@ -511,6 +591,17 @@ pub fn run_1d_applications_bc(
     apps: usize,
     boundary: stencil_core::Boundary,
 ) -> Vec<f64> {
+    try_run_1d_applications_bc(dev, exec, ext0, apps, boundary).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible twin of [`run_1d_applications_bc`].
+pub fn try_run_1d_applications_bc(
+    dev: &mut Device,
+    exec: &Exec1D,
+    ext0: &[f64],
+    apps: usize,
+    boundary: stencil_core::Boundary,
+) -> Result<Vec<f64>, ConvStencilError> {
     let a = dev.alloc_from(ext0);
     let b = dev.alloc_from(ext0);
     let scratch = exec
@@ -520,12 +611,12 @@ pub fn run_1d_applications_bc(
     let (mut cur, mut next) = (a, b);
     for _ in 0..apps {
         if boundary == stencil_core::Boundary::Periodic {
-            halo_exchange_1d(dev, cur, &exec.plan);
+            try_halo_exchange_1d(dev, cur, &exec.plan)?;
         }
-        exec.run_application(dev, cur, next, scratch);
+        exec.try_run_application(dev, cur, next, scratch)?;
         std::mem::swap(&mut cur, &mut next);
     }
-    dev.download(cur).to_vec()
+    Ok(dev.download(cur).to_vec())
 }
 
 #[cfg(test)]
@@ -561,7 +652,12 @@ mod tests {
 
     #[test]
     fn nk3_unfused_matches_reference() {
-        check(&Kernel1D::new(vec![0.25, 0.5, 0.25]), 1000, 3, VariantConfig::conv_stencil());
+        check(
+            &Kernel1D::new(vec![0.25, 0.5, 0.25]),
+            1000,
+            3,
+            VariantConfig::conv_stencil(),
+        );
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! Variant I first materializes the full stencil2row matrices in global
 //! memory with a separate transform kernel, then computes from them.
 
+use crate::error::ConvStencilError;
 use crate::plan::{Plan2D, ScatterLut, LUT_SKIP};
 use crate::variants::VariantConfig;
 use crate::weights::WeightMatrices;
@@ -51,14 +52,45 @@ impl Exec2D {
     /// Build an executor for `kernel` on an `m x n` interior. The kernel
     /// is used as-is (apply temporal fusion before constructing).
     pub fn new(kernel: &Kernel2D, m: usize, n: usize, variant: VariantConfig) -> Self {
-        Self::with_plan(kernel, Plan2D::new_2d(m, n, kernel.nk(), variant), variant)
+        Self::try_new(kernel, m, n, variant).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`Exec2D::new`].
+    pub fn try_new(
+        kernel: &Kernel2D,
+        m: usize,
+        n: usize,
+        variant: VariantConfig,
+    ) -> Result<Self, ConvStencilError> {
+        let plan = Plan2D::try_new_2d(m, n, kernel.nk(), variant)?;
+        Self::try_with_plan(kernel, plan, variant)
     }
 
     /// Build with an explicit plan (the 3D executor uses plane-shaped
     /// blocks).
     pub fn with_plan(kernel: &Kernel2D, plan: Plan2D, variant: VariantConfig) -> Self {
-        assert_eq!(plan.nk, kernel.nk());
-        assert_eq!(plan.block_groups % 8, 0, "groups per block must be a multiple of 8");
+        Self::try_with_plan(kernel, plan, variant).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`Exec2D::with_plan`].
+    pub fn try_with_plan(
+        kernel: &Kernel2D,
+        plan: Plan2D,
+        variant: VariantConfig,
+    ) -> Result<Self, ConvStencilError> {
+        if plan.nk != kernel.nk() {
+            return Err(ConvStencilError::PlanInvariant {
+                reason: format!("plan n_k {} != kernel n_k {}", plan.nk, kernel.nk()),
+            });
+        }
+        if !plan.block_groups.is_multiple_of(8) {
+            return Err(ConvStencilError::PlanInvariant {
+                reason: format!(
+                    "groups per block must be a multiple of 8 (got {})",
+                    plan.block_groups
+                ),
+            });
+        }
         let weights = WeightMatrices::from_kernel2d(kernel);
         let lut = plan.build_scatter_lut(variant);
         let nk = plan.nk;
@@ -83,14 +115,14 @@ impl Exec2D {
             };
             colmap.push(entry);
         }
-        Self {
+        Ok(Self {
             plan,
             variant,
             weights,
             lut,
             points,
             colmap,
-        }
+        })
     }
 
     /// Shared-memory f64 elements one block needs.
@@ -126,27 +158,47 @@ impl Exec2D {
         ext_out: BufferId,
         explicit: Option<ExplicitBuffers>,
     ) {
+        self.try_run_application(dev, ext_in, ext_out, explicit)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`Exec2D::run_application`]: surfaces scratch
+    /// misuse and device launch faults as errors.
+    pub fn try_run_application(
+        &self,
+        dev: &mut Device,
+        ext_in: BufferId,
+        ext_out: BufferId,
+        explicit: Option<ExplicitBuffers>,
+    ) -> Result<(), ConvStencilError> {
         if self.variant.explicit_global {
-            let bufs = explicit.expect("explicit variant needs scratch buffers");
-            self.run_transform_kernel(dev, ext_in, bufs);
-            self.run_compute_kernel(dev, ext_in, ext_out, Some(bufs));
+            let bufs = explicit.ok_or(ConvStencilError::ScratchMismatch { expected: true })?;
+            self.run_transform_kernel(dev, ext_in, bufs)?;
+            self.run_compute_kernel(dev, ext_in, ext_out, Some(bufs))
         } else {
-            assert!(explicit.is_none(), "implicit variant takes no scratch");
-            self.run_compute_kernel(dev, ext_in, ext_out, None);
+            if explicit.is_some() {
+                return Err(ConvStencilError::ScratchMismatch { expected: false });
+            }
+            self.run_compute_kernel(dev, ext_in, ext_out, None)
         }
     }
 
     /// Variant-I transform kernel: build the full stencil2row matrices in
     /// global memory. 32 extended rows per block; scattered (uncoalesced)
     /// global writes — the cost this variant exists to demonstrate.
-    fn run_transform_kernel(&self, dev: &mut Device, ext_in: BufferId, bufs: ExplicitBuffers) {
+    fn run_transform_kernel(
+        &self,
+        dev: &mut Device,
+        ext_in: BufferId,
+        bufs: ExplicitBuffers,
+    ) -> Result<(), ConvStencilError> {
         let p = &self.plan;
         let nk = p.nk;
         let (rows_a, rows_b, cols) = self.explicit_dims();
         let rows_per_block = 32usize;
         let num_blocks = p.ext_rows.div_ceil(rows_per_block);
         let first = p.lc - p.radius; // ext column where the conv window starts
-        dev.launch(num_blocks, 64, |bid, ctx| {
+        dev.try_launch(num_blocks, 64, |bid, ctx| {
             let r0 = bid * rows_per_block;
             let r1 = (r0 + rows_per_block).min(p.ext_rows);
             let mut a_addrs = [INACTIVE; 32];
@@ -187,7 +239,8 @@ impl Exec2D {
                     ctx.gmem_write_warp(bufs.s2r_b, &b_addrs[..lane], &b_vals[..lane]);
                 }
             }
-        });
+        })?;
+        Ok(())
     }
 
     /// The main kernel: stage shared tiles (from global stencil2row
@@ -199,10 +252,10 @@ impl Exec2D {
         ext_in: BufferId,
         ext_out: BufferId,
         explicit: Option<ExplicitBuffers>,
-    ) {
+    ) -> Result<(), ConvStencilError> {
         let p = &self.plan;
         let num_blocks = p.num_blocks();
-        dev.launch(num_blocks, self.shared_len(), |bid, ctx| {
+        dev.try_launch(num_blocks, self.shared_len(), |bid, ctx| {
             let bx = bid / p.blocks_g;
             let bg = bid % p.blocks_g;
             let rows_here = p.block_rows.min(p.m - bx * p.block_rows);
@@ -216,12 +269,20 @@ impl Exec2D {
             } else {
                 self.compute_cuda(ctx, ext_out, bx, bg, rows_here);
             }
-        });
+        })?;
+        Ok(())
     }
 
     /// Implicit scatter: coalesced global reads of the block's input tile,
     /// stored into the shared stencil2row tiles.
-    fn scatter(&self, ctx: &mut BlockCtx, ext_in: BufferId, bx: usize, bg: usize, tile_rows: usize) {
+    fn scatter(
+        &self,
+        ctx: &mut BlockCtx,
+        ext_in: BufferId,
+        bx: usize,
+        bg: usize,
+        tile_rows: usize,
+    ) {
         let p = &self.plan;
         let read0 = p.read_col0(bg);
         let lut_mode = self.variant.dirty_bits_lut;
@@ -238,7 +299,11 @@ impl Exec2D {
             while i < p.span_aligned {
                 let lanes = 32.min(p.span_aligned - i);
                 for (l, a) in gaddrs.iter_mut().enumerate() {
-                    *a = if l < lanes { row_base + i + l } else { INACTIVE };
+                    *a = if l < lanes {
+                        row_base + i + l
+                    } else {
+                        INACTIVE
+                    };
                 }
                 ctx.gmem_read_warp(ext_in, &gaddrs[..lanes], &mut vals[..lanes]);
                 // Addressing cost (§3.4): LUT = one indexed add per side;
@@ -342,7 +407,14 @@ impl Exec2D {
 
     /// Tensor-core compute: dual tessellations per output row and 8-group
     /// band, then coalesced write-back.
-    fn compute_tcu(&self, ctx: &mut BlockCtx, ext_out: BufferId, bx: usize, bg: usize, rows_here: usize) {
+    fn compute_tcu(
+        &self,
+        ctx: &mut BlockCtx,
+        ext_out: BufferId,
+        bx: usize,
+        bg: usize,
+        rows_here: usize,
+    ) {
         let p = &self.plan;
         let lay = &p.layout;
         let nk = p.nk;
@@ -379,7 +451,14 @@ impl Exec2D {
 
     /// CUDA-core compute (variants I/II): per-point dot products over the
     /// shared stencil2row tiles, exploiting kernel sparsity.
-    fn compute_cuda(&self, ctx: &mut BlockCtx, ext_out: BufferId, bx: usize, bg: usize, rows_here: usize) {
+    fn compute_cuda(
+        &self,
+        ctx: &mut BlockCtx,
+        ext_out: BufferId,
+        bx: usize,
+        bg: usize,
+        rows_here: usize,
+    ) {
         let p = &self.plan;
         let lay = &p.layout;
         let nk = p.nk;
@@ -449,12 +528,26 @@ impl Exec2D {
 /// corners inherit the wrapped columns). Counted like any other kernel —
 /// periodic codes pay their exchange.
 pub fn halo_exchange_2d(dev: &mut Device, ext: BufferId, plan: &Plan2D) {
+    try_halo_exchange_2d(dev, ext, plan).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible twin of [`halo_exchange_2d`].
+pub fn try_halo_exchange_2d(
+    dev: &mut Device,
+    ext: BufferId,
+    plan: &Plan2D,
+) -> Result<(), ConvStencilError> {
     let (m, n, r) = (plan.m, plan.n, plan.radius);
-    assert!(m >= r && n >= r, "periodic wrap needs interior >= radius");
+    if m < r || n < r {
+        return Err(ConvStencilError::InteriorTooSmall {
+            interior: m.min(n),
+            radius: r,
+        });
+    }
     let (lr, lc, cols) = (plan.lr, plan.lc, plan.ext_cols);
     // Kernel 1: column wrap for every interior row.
     let rows_per_block = 64usize;
-    dev.launch(m.div_ceil(rows_per_block), 64, |bid, ctx| {
+    dev.try_launch(m.div_ceil(rows_per_block), 64, |bid, ctx| {
         let x0 = bid * rows_per_block;
         let x1 = (x0 + rows_per_block).min(m);
         for x in x0..x1 {
@@ -464,10 +557,10 @@ pub fn halo_exchange_2d(dev: &mut Device, ext: BufferId, plan: &Plan2D) {
             let right = ctx.gmem_read_span(ext, row + lc, r);
             ctx.gmem_write_span(ext, row + lc + n, &right);
         }
-    });
+    })?;
     // Kernel 2: full-row wrap for the r halo rows on each side (one block
     // per wrapped row pair).
-    dev.launch(r, 64, |bid, ctx| {
+    dev.try_launch(r, 64, |bid, ctx| {
         let i = bid;
         // Top halo ext row i <- ext row m + i.
         let src = (m + i) * cols;
@@ -477,18 +570,14 @@ pub fn halo_exchange_2d(dev: &mut Device, ext: BufferId, plan: &Plan2D) {
         let src = (lr + i) * cols;
         let vals = ctx.gmem_read_span(ext, src, cols);
         ctx.gmem_write_span(ext, (lr + m + i) * cols, &vals);
-    });
+    })?;
+    Ok(())
 }
 
 /// Convenience: run `apps` applications of `kernel` over a grid's extended
 /// arrays on a fresh pair of device buffers, returning the final extended
 /// array. Used by the high-level API and tests.
-pub fn run_2d_applications(
-    dev: &mut Device,
-    exec: &Exec2D,
-    ext0: &[f64],
-    apps: usize,
-) -> Vec<f64> {
+pub fn run_2d_applications(dev: &mut Device, exec: &Exec2D, ext0: &[f64], apps: usize) -> Vec<f64> {
     run_2d_applications_bc(dev, exec, ext0, apps, stencil_core::Boundary::Dirichlet)
 }
 
@@ -502,6 +591,18 @@ pub fn run_2d_applications_bc(
     apps: usize,
     boundary: stencil_core::Boundary,
 ) -> Vec<f64> {
+    try_run_2d_applications_bc(dev, exec, ext0, apps, boundary).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible twin of [`run_2d_applications_bc`]: propagates device launch
+/// faults (including injected ones) instead of panicking.
+pub fn try_run_2d_applications_bc(
+    dev: &mut Device,
+    exec: &Exec2D,
+    ext0: &[f64],
+    apps: usize,
+    boundary: stencil_core::Boundary,
+) -> Result<Vec<f64>, ConvStencilError> {
     let a = dev.alloc_from(ext0);
     let b = dev.alloc_from(ext0);
     let scratch = exec
@@ -511,12 +612,12 @@ pub fn run_2d_applications_bc(
     let (mut cur, mut next) = (a, b);
     for _ in 0..apps {
         if boundary == stencil_core::Boundary::Periodic {
-            halo_exchange_2d(dev, cur, &exec.plan);
+            try_halo_exchange_2d(dev, cur, &exec.plan)?;
         }
-        exec.run_application(dev, cur, next, scratch);
+        exec.try_run_application(dev, cur, next, scratch)?;
         std::mem::swap(&mut cur, &mut next);
     }
-    dev.download(cur).to_vec()
+    Ok(dev.download(cur).to_vec())
 }
 
 #[cfg(test)]
@@ -540,12 +641,24 @@ mod tests {
 
     #[test]
     fn full_variant_box49_matches_reference() {
-        check_variant(&Kernel2D::box_uniform(3), 64, 130, 2, VariantConfig::conv_stencil());
+        check_variant(
+            &Kernel2D::box_uniform(3),
+            64,
+            130,
+            2,
+            VariantConfig::conv_stencil(),
+        );
     }
 
     #[test]
     fn full_variant_heat2d_unfused_matches_reference() {
-        check_variant(&Kernel2D::star(0.5, &[0.125]), 70, 96, 3, VariantConfig::conv_stencil());
+        check_variant(
+            &Kernel2D::star(0.5, &[0.125]),
+            70,
+            96,
+            3,
+            VariantConfig::conv_stencil(),
+        );
     }
 
     #[test]
@@ -556,7 +669,13 @@ mod tests {
 
     #[test]
     fn full_variant_nk5_matches_reference() {
-        check_variant(&Kernel2D::box_uniform(2), 40, 100, 2, VariantConfig::conv_stencil());
+        check_variant(
+            &Kernel2D::box_uniform(2),
+            40,
+            100,
+            2,
+            VariantConfig::conv_stencil(),
+        );
     }
 
     #[test]

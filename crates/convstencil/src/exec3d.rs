@@ -12,6 +12,7 @@
 //! simulated CUDA cores and added to the Tensor-Core result, while the
 //! dense center plane goes through dual tessellation.
 
+use crate::error::ConvStencilError;
 use crate::plan::{Plan2D, ScatterLut, LUT_SKIP};
 use crate::variants::VariantConfig;
 use crate::weights::WeightMatrices;
@@ -70,9 +71,25 @@ pub struct ExplicitBuffers3D {
 
 impl Exec3D {
     pub fn new(kernel: &Kernel3D, d: usize, m: usize, n: usize, variant: VariantConfig) -> Self {
+        Self::try_new(kernel, d, m, n, variant).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`Exec3D::new`].
+    pub fn try_new(
+        kernel: &Kernel3D,
+        d: usize,
+        m: usize,
+        n: usize,
+        variant: VariantConfig,
+    ) -> Result<Self, ConvStencilError> {
         let nk = kernel.nk();
         let radius = kernel.radius();
-        let plane_plan = Plan2D::new_3d_plane(m, n, nk, variant);
+        if d == 0 {
+            return Err(ConvStencilError::ZeroSizedGrid {
+                dims: vec![d, m, n],
+            });
+        }
+        let plane_plan = Plan2D::try_new_3d_plane(m, n, nk, variant)?;
         let lut = plane_plan.build_scatter_lut(variant);
         let scalar_plane_threshold = 2;
         let mut planes = Vec::with_capacity(nk);
@@ -111,7 +128,9 @@ impl Exec3D {
         let bz = (1..=8usize)
             .rev()
             .find(|bz| (bz + nk - 1) * tile_pair + weights_total <= capacity)
-            .expect("even a single-plane window exceeds shared memory");
+            .ok_or_else(|| ConvStencilError::PlanInvariant {
+                reason: "even a single-plane window exceeds shared memory".to_string(),
+            })?;
         let slots = bz + nk - 1;
         let mut slot_off = Vec::with_capacity(slots);
         let mut cursor = 0usize;
@@ -140,7 +159,7 @@ impl Exec3D {
             };
             colmap.push(entry);
         }
-        Self {
+        Ok(Self {
             plane_plan,
             variant,
             d,
@@ -154,7 +173,7 @@ impl Exec3D {
             shared_total,
             colmap,
             scalar_plane_threshold,
-        }
+        })
     }
 
     pub fn shared_len(&self) -> usize {
@@ -179,7 +198,12 @@ impl Exec3D {
     /// Variant-I transform kernel: materialize the stencil2row matrices of
     /// every extended plane in global memory (scattered writes, div/mod
     /// addressing — the costs the explicit layout pays).
-    fn run_transform_kernel(&self, dev: &mut Device, ext_in: BufferId, bufs: ExplicitBuffers3D) {
+    fn run_transform_kernel(
+        &self,
+        dev: &mut Device,
+        ext_in: BufferId,
+        bufs: ExplicitBuffers3D,
+    ) -> Result<(), ConvStencilError> {
         let p = &self.plane_plan;
         let nk = self.nk;
         let ps = self.plane_size();
@@ -187,7 +211,7 @@ impl Exec3D {
         let blocks_per_plane = p.ext_rows.div_ceil(rows_per_block);
         let num_blocks = self.ext_planes() * blocks_per_plane;
         let first = p.lc - p.radius;
-        dev.launch(num_blocks, 64, |bid, ctx| {
+        dev.try_launch(num_blocks, 64, |bid, ctx| {
             let plane = bid / blocks_per_plane;
             let chunk = bid % blocks_per_plane;
             let r0 = chunk * rows_per_block;
@@ -227,7 +251,8 @@ impl Exec3D {
                     ctx.gmem_write_warp(bufs.s2r_b, &b_addrs[..lane], &vals32[..lane]);
                 }
             }
-        });
+        })?;
+        Ok(())
     }
 
     /// Variant-I staging: copy the block's tile rows of a plane's global
@@ -284,12 +309,26 @@ impl Exec3D {
 
     /// Build the 3D extended array from a grid.
     pub fn build_ext(&self, grid: &Grid3D) -> Vec<f64> {
-        assert_eq!(
-            (grid.depth(), grid.rows(), grid.cols()),
-            (self.d, self.plane_plan.m, self.plane_plan.n)
-        );
+        self.try_build_ext(grid).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`Exec3D::build_ext`].
+    pub fn try_build_ext(&self, grid: &Grid3D) -> Result<Vec<f64>, ConvStencilError> {
+        if (grid.depth(), grid.rows(), grid.cols())
+            != (self.d, self.plane_plan.m, self.plane_plan.n)
+        {
+            return Err(ConvStencilError::ShapeMismatch {
+                expected: vec![self.d, self.plane_plan.m, self.plane_plan.n],
+                got: vec![grid.depth(), grid.rows(), grid.cols()],
+            });
+        }
         let h = grid.halo();
-        assert!(h >= self.radius);
+        if h < self.radius {
+            return Err(ConvStencilError::HaloTooSmall {
+                halo: h,
+                radius: self.radius,
+            });
+        }
         let mut ext = vec![0.0; self.ext_planes() * self.plane_size()];
         for p in 0..self.ext_planes() {
             let pz = p + h - self.radius;
@@ -297,10 +336,10 @@ impl Exec3D {
                 continue;
             }
             let plane2d = grid.padded_plane_as_grid2d(pz);
-            let plane_ext = self.plane_plan.build_ext(&plane2d);
+            let plane_ext = self.plane_plan.try_build_ext(&plane2d)?;
             ext[p * self.plane_size()..(p + 1) * self.plane_size()].copy_from_slice(&plane_ext);
         }
-        ext
+        Ok(ext)
     }
 
     /// Extract the interior into `grid`.
@@ -325,18 +364,30 @@ impl Exec3D {
         ext_out: BufferId,
         explicit: Option<ExplicitBuffers3D>,
     ) {
+        self.try_run_application(dev, ext_in, ext_out, explicit)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`Exec3D::run_application`].
+    pub fn try_run_application(
+        &self,
+        dev: &mut Device,
+        ext_in: BufferId,
+        ext_out: BufferId,
+        explicit: Option<ExplicitBuffers3D>,
+    ) -> Result<(), ConvStencilError> {
         if self.variant.explicit_global {
-            let bufs = explicit.expect("explicit variant needs scratch buffers");
-            self.run_transform_kernel(dev, ext_in, bufs);
-        } else {
-            assert!(explicit.is_none(), "implicit variant takes no scratch");
+            let bufs = explicit.ok_or(ConvStencilError::ScratchMismatch { expected: true })?;
+            self.run_transform_kernel(dev, ext_in, bufs)?;
+        } else if explicit.is_some() {
+            return Err(ConvStencilError::ScratchMismatch { expected: false });
         }
         let p = &self.plane_plan;
         let blocks_per_plane = p.num_blocks();
         let z_blocks = self.d.div_ceil(self.bz);
         let num_blocks = z_blocks * blocks_per_plane;
         let ps = self.plane_size();
-        dev.launch(num_blocks, self.shared_len(), |bid, ctx| {
+        dev.try_launch(num_blocks, self.shared_len(), |bid, ctx| {
             let zb = bid / blocks_per_plane;
             let rem = bid % blocks_per_plane;
             let bx = rem / p.blocks_g;
@@ -378,9 +429,19 @@ impl Exec3D {
                 }
             }
             for z_local in 0..planes_here {
-                self.compute(ctx, ext_out, z0 + z_local, z_local, bx, bg, rows_here, &frags);
+                self.compute(
+                    ctx,
+                    ext_out,
+                    z0 + z_local,
+                    z_local,
+                    bx,
+                    bg,
+                    rows_here,
+                    &frags,
+                );
             }
-        });
+        })?;
+        Ok(())
     }
 
     /// Scatter one extended input plane into the tile pair at `base_off`.
@@ -409,7 +470,11 @@ impl Exec3D {
             while i < p.span_aligned {
                 let lanes = 32.min(p.span_aligned - i);
                 for (l, a) in gaddrs.iter_mut().enumerate() {
-                    *a = if l < lanes { row_base + i + l } else { INACTIVE };
+                    *a = if l < lanes {
+                        row_base + i + l
+                    } else {
+                        INACTIVE
+                    };
                 }
                 ctx.gmem_read_warp(ext_in, &gaddrs[..lanes], &mut vals[..lanes]);
                 if self.variant.dirty_bits_lut {
@@ -464,8 +529,12 @@ impl Exec3D {
         }
         let chunks = w.krows / 4;
         (
-            (0..chunks).map(|k| ctx.load_frag_b(wa_off + 4 * k * 8, 8)).collect(),
-            (0..chunks).map(|k| ctx.load_frag_b(wb_off + 4 * k * 8, 8)).collect(),
+            (0..chunks)
+                .map(|k| ctx.load_frag_b(wa_off + 4 * k * 8, 8))
+                .collect(),
+            (0..chunks)
+                .map(|k| ctx.load_frag_b(wb_off + 4 * k * 8, 8))
+                .collect(),
         )
     }
 
@@ -580,13 +649,27 @@ impl Exec3D {
 /// row wrap (per interior plane), then full-plane wrap so the halo planes
 /// inherit fully wrapped contents.
 pub fn halo_exchange_3d(dev: &mut Device, ext: BufferId, exec: &Exec3D) {
+    try_halo_exchange_3d(dev, ext, exec).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible twin of [`halo_exchange_3d`].
+pub fn try_halo_exchange_3d(
+    dev: &mut Device,
+    ext: BufferId,
+    exec: &Exec3D,
+) -> Result<(), ConvStencilError> {
     let p = &exec.plane_plan;
     let (d, m, n, r) = (exec.d, p.m, p.n, exec.radius);
-    assert!(d >= r && m >= r && n >= r, "periodic wrap needs interior >= radius");
+    if d < r || m < r || n < r {
+        return Err(ConvStencilError::InteriorTooSmall {
+            interior: d.min(m).min(n),
+            radius: r,
+        });
+    }
     let (lr, lc, cols) = (p.lr, p.lc, p.ext_cols);
     let ps = exec.plane_size();
     // Kernel 1: column wrap for every interior (plane, row).
-    dev.launch(d, 64, |z, ctx| {
+    dev.try_launch(d, 64, |z, ctx| {
         let base = (z + r) * ps;
         for x in 0..m {
             let row = base + (x + lr) * cols;
@@ -595,9 +678,9 @@ pub fn halo_exchange_3d(dev: &mut Device, ext: BufferId, exec: &Exec3D) {
             let right = ctx.gmem_read_span(ext, row + lc, r);
             ctx.gmem_write_span(ext, row + lc + n, &right);
         }
-    });
+    })?;
     // Kernel 2: row wrap within each interior plane.
-    dev.launch(d, 64, |z, ctx| {
+    dev.try_launch(d, 64, |z, ctx| {
         let base = (z + r) * ps;
         for i in 0..r {
             let vals = ctx.gmem_read_span(ext, base + (m + i) * cols, cols);
@@ -605,14 +688,15 @@ pub fn halo_exchange_3d(dev: &mut Device, ext: BufferId, exec: &Exec3D) {
             let vals = ctx.gmem_read_span(ext, base + (lr + i) * cols, cols);
             ctx.gmem_write_span(ext, base + (lr + m + i) * cols, &vals);
         }
-    });
+    })?;
     // Kernel 3: full-plane wrap.
-    dev.launch(r, 64, |i, ctx| {
+    dev.try_launch(r, 64, |i, ctx| {
         let vals = ctx.gmem_read_span(ext, (d + i) * ps, ps);
         ctx.gmem_write_span(ext, i * ps, &vals);
         let vals = ctx.gmem_read_span(ext, (r + i) * ps, ps);
         ctx.gmem_write_span(ext, (r + d + i) * ps, &vals);
-    });
+    })?;
+    Ok(())
 }
 
 /// Run `apps` applications over a fresh buffer pair.
@@ -628,6 +712,17 @@ pub fn run_3d_applications_bc(
     apps: usize,
     boundary: stencil_core::Boundary,
 ) -> Vec<f64> {
+    try_run_3d_applications_bc(dev, exec, ext0, apps, boundary).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible twin of [`run_3d_applications_bc`].
+pub fn try_run_3d_applications_bc(
+    dev: &mut Device,
+    exec: &Exec3D,
+    ext0: &[f64],
+    apps: usize,
+    boundary: stencil_core::Boundary,
+) -> Result<Vec<f64>, ConvStencilError> {
     let a = dev.alloc_from(ext0);
     let b = dev.alloc_from(ext0);
     let scratch = exec
@@ -637,12 +732,12 @@ pub fn run_3d_applications_bc(
     let (mut cur, mut next) = (a, b);
     for _ in 0..apps {
         if boundary == stencil_core::Boundary::Periodic {
-            halo_exchange_3d(dev, cur, exec);
+            try_halo_exchange_3d(dev, cur, exec)?;
         }
-        exec.run_application(dev, cur, next, scratch);
+        exec.try_run_application(dev, cur, next, scratch)?;
         std::mem::swap(&mut cur, &mut next);
     }
-    dev.download(cur).to_vec()
+    Ok(dev.download(cur).to_vec())
 }
 
 #[cfg(test)]
@@ -691,7 +786,10 @@ mod tests {
         let ext0 = exec.build_ext(&grid);
         run_3d_applications(&mut dev, &exec, &ext0, 1);
         assert!(dev.counters.dmma_ops > 0, "center plane must use MMAs");
-        assert!(dev.counters.cuda_fma_ops > 0, "small planes must use CUDA cores");
+        assert!(
+            dev.counters.cuda_fma_ops > 0,
+            "small planes must use CUDA cores"
+        );
     }
 
     #[test]

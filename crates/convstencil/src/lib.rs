@@ -15,6 +15,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod api;
+pub mod error;
 pub mod exec1d;
 pub mod exec2d;
 pub mod exec3d;
@@ -27,7 +28,8 @@ pub mod tessellation;
 pub mod variants;
 pub mod weights;
 
-pub use api::{ConvStencil1D, ConvStencil2D, ConvStencil3D, RunReport, MAX_NK};
+pub use api::{ConvStencil1D, ConvStencil2D, ConvStencil3D, RunReport, VerifyConfig, MAX_NK};
+pub use error::ConvStencilError;
 pub use exec1d::Exec1D;
 pub use exec2d::Exec2D;
 pub use exec3d::Exec3D;

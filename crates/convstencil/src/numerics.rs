@@ -72,7 +72,11 @@ pub fn dot_tessellation_order(window: &[f64], weights: &[f64], nk: usize, j: usi
     let mut acc = 0.0f64;
     for dx in 0..nk {
         for c in 0..nk {
-            let w = if c >= j && c - j < nk { weights[dx * nk + (c - j)] } else { 0.0 };
+            let w = if c >= j && c - j < nk {
+                weights[dx * nk + (c - j)]
+            } else {
+                0.0
+            };
             acc += window[dx * nk + c] * w;
         }
     }
@@ -81,7 +85,11 @@ pub fn dot_tessellation_order(window: &[f64], weights: &[f64], nk: usize, j: usi
             // B tile element (dx, q) is the window column n_k + q... for a
             // single window the B-part contributions come from columns
             // beyond the A coverage: dy = n_k - j + q for q < j.
-            let w = if q < j { weights[dx * nk + (nk - j + q)] } else { 0.0 };
+            let w = if q < j {
+                weights[dx * nk + (nk - j + q)]
+            } else {
+                0.0
+            };
             let v = if q < j {
                 // Window value at (dx, j + (nk - j + q) - ... ) —
                 // the element multiplying w[dx][nk-j+q] is window[dx][nk-j+q + j - ...].
@@ -118,7 +126,7 @@ pub fn ulp_distance(a: f64, b: f64) -> u64 {
 pub fn round_through_f16(x: f64) -> f64 {
     // f64 -> f32 -> manual f16 rounding of the f32.
     let f = x as f32;
-    f32::from(half_round(f)) as f64
+    half_round(f) as f64
 }
 
 /// Round-to-nearest-even f32 -> binary16 -> f32 without external crates.
@@ -233,7 +241,10 @@ mod tests {
     fn ulp_distance_basics() {
         assert_eq!(ulp_distance(1.0, 1.0), 0);
         assert_eq!(ulp_distance(1.0, f64::from_bits(1.0f64.to_bits() + 1)), 1);
-        assert_eq!(ulp_distance(-1.0, f64::from_bits((-1.0f64).to_bits() + 1)), 1);
+        assert_eq!(
+            ulp_distance(-1.0, f64::from_bits((-1.0f64).to_bits() + 1)),
+            1
+        );
         assert!(ulp_distance(1.0, 2.0) > 1_000_000);
     }
 
@@ -244,7 +255,10 @@ mod tests {
         // goes down to 1.0.
         assert_eq!(round_through_f16(1.0 + 2f64.powi(-11)), 1.0);
         // 1 + 2^-10 is representable.
-        assert_eq!(round_through_f16(1.0 + 2f64.powi(-10)), 1.0 + 2f64.powi(-10));
+        assert_eq!(
+            round_through_f16(1.0 + 2f64.powi(-10)),
+            1.0 + 2f64.powi(-10)
+        );
         assert_eq!(round_through_f16(70000.0), f64::INFINITY);
         assert_eq!(round_through_f16(-70000.0), f64::NEG_INFINITY);
     }

@@ -8,6 +8,7 @@
 //! which makes the stencil2row A tile exactly `8 x 266` doubles for
 //! Box-2D49P — the very matrix the paper's Fig. 5 pads to 268 columns.
 
+use crate::error::ConvStencilError;
 use crate::variants::VariantConfig;
 use crate::weights::FRAG_K;
 use serde::{Deserialize, Serialize};
@@ -95,14 +96,18 @@ impl SharedLayout {
     }
 
     /// Dirty-bits dump slot for tile row `row` of the A tile.
+    ///
+    /// Always-on check (not `debug_assert!`): without at least one padding
+    /// slot the dump address would alias the next tile row's useful
+    /// columns, silently corrupting results in release builds.
     pub fn dirty_a(&self, row: usize) -> usize {
-        debug_assert!(self.pad >= 1, "dirty bits need padding");
+        assert!(self.pad >= 1, "dirty bits need padding");
         self.a_off + row.min(self.tile_rows - 1) * self.stride + self.raw_cols
     }
 
     /// Dirty-bits dump slot for tile row `row` of the B tile.
     pub fn dirty_b(&self, row: usize) -> usize {
-        debug_assert!(self.pad >= 1, "dirty bits need padding");
+        assert!(self.pad >= 1, "dirty bits need padding");
         self.b_off + row.min(self.tile_rows - 1) * self.stride + self.raw_cols
     }
 }
@@ -143,13 +148,36 @@ pub struct Plan2D {
 impl Plan2D {
     /// Plan with the paper's 2D block shape (32 x 8 groups).
     pub fn new_2d(m: usize, n: usize, nk: usize, variant: VariantConfig) -> Self {
-        Self::with_block(m, n, nk, 32, 8, variant)
+        Self::try_new_2d(m, n, nk, variant).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`Plan2D::new_2d`].
+    pub fn try_new_2d(
+        m: usize,
+        n: usize,
+        nk: usize,
+        variant: VariantConfig,
+    ) -> Result<Self, ConvStencilError> {
+        Self::try_with_block(m, n, nk, 32, 8, variant)
     }
 
     /// Plan with the paper's 3D per-plane block shape (8 rows x 64 cols).
     pub fn new_3d_plane(m: usize, n: usize, nk: usize, variant: VariantConfig) -> Self {
+        Self::try_new_3d_plane(m, n, nk, variant).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`Plan2D::new_3d_plane`].
+    pub fn try_new_3d_plane(
+        m: usize,
+        n: usize,
+        nk: usize,
+        variant: VariantConfig,
+    ) -> Result<Self, ConvStencilError> {
+        if !(nk % 2 == 1 && (3..=7).contains(&nk)) {
+            return Err(ConvStencilError::UnsupportedNk { nk });
+        }
         let groups = (64 / (nk + 1)).max(1);
-        Self::with_block(m, n, nk, 8, groups, variant)
+        Self::try_with_block(m, n, nk, 8, groups, variant)
     }
 
     /// Plan with an explicit block shape.
@@ -161,8 +189,32 @@ impl Plan2D {
         block_groups: usize,
         variant: VariantConfig,
     ) -> Self {
-        assert!(nk % 2 == 1 && (3..=7).contains(&nk), "n_k must be 3, 5 or 7");
-        assert!(m >= 1 && n >= 1);
+        Self::try_with_block(m, n, nk, block_rows, block_groups, variant)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`Plan2D::with_block`]: validates the kernel edge,
+    /// grid extents, block shape, and layout invariants instead of
+    /// panicking.
+    pub fn try_with_block(
+        m: usize,
+        n: usize,
+        nk: usize,
+        block_rows: usize,
+        block_groups: usize,
+        variant: VariantConfig,
+    ) -> Result<Self, ConvStencilError> {
+        if !(nk % 2 == 1 && (3..=7).contains(&nk)) {
+            return Err(ConvStencilError::UnsupportedNk { nk });
+        }
+        if m == 0 || n == 0 {
+            return Err(ConvStencilError::ZeroSizedGrid { dims: vec![m, n] });
+        }
+        if block_rows == 0 || block_groups == 0 {
+            return Err(ConvStencilError::PlanInvariant {
+                reason: format!("block shape {block_rows} x {block_groups} has a zero extent"),
+            });
+        }
         let radius = (nk - 1) / 2;
         let krows = (nk * nk).div_ceil(FRAG_K) * FRAG_K;
         let groups_needed = n.div_ceil(nk + 1);
@@ -182,7 +234,14 @@ impl Plan2D {
         let pre = first - aligned_first;
         let span_aligned = (pre + span).div_ceil(4) * 4;
         let layout = SharedLayout::new(nk, block_rows, block_groups, krows, variant);
-        Self {
+        if variant.dirty_bits_lut && layout.pad == 0 {
+            return Err(ConvStencilError::PlanInvariant {
+                reason: "dirty bits need padding (dirty_bits_lut requires the padding \
+                         optimization)"
+                    .to_string(),
+            });
+        }
+        Ok(Self {
             nk,
             radius,
             m,
@@ -200,7 +259,7 @@ impl Plan2D {
             span_aligned,
             layout,
             krows,
-        }
+        })
     }
 
     /// Total thread blocks per kernel launch.
@@ -226,10 +285,24 @@ impl Plan2D {
     /// Build the extended array from a grid (interior + available halo;
     /// zero beyond). The grid's halo must be at least `radius`.
     pub fn build_ext(&self, grid: &Grid2D) -> Vec<f64> {
-        assert_eq!(grid.rows(), self.m);
-        assert_eq!(grid.cols(), self.n);
+        self.try_build_ext(grid).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`Plan2D::build_ext`].
+    pub fn try_build_ext(&self, grid: &Grid2D) -> Result<Vec<f64>, ConvStencilError> {
+        if grid.rows() != self.m || grid.cols() != self.n {
+            return Err(ConvStencilError::ShapeMismatch {
+                expected: vec![self.m, self.n],
+                got: vec![grid.rows(), grid.cols()],
+            });
+        }
         let h = grid.halo();
-        assert!(h >= self.radius, "grid halo {h} < kernel radius {}", self.radius);
+        if h < self.radius {
+            return Err(ConvStencilError::HaloTooSmall {
+                halo: h,
+                radius: self.radius,
+            });
+        }
         let mut ext = vec![0.0; self.ext_rows * self.ext_cols];
         let (prows, pcols) = (grid.padded_rows(), grid.padded_cols());
         for r in 0..self.ext_rows {
@@ -245,7 +318,7 @@ impl Plan2D {
                 }
             }
         }
-        ext
+        Ok(ext)
     }
 
     /// Extract the interior from an extended array into `grid`.
@@ -380,7 +453,7 @@ mod tests {
     fn block_counts_cover_output() {
         let plan = Plan2D::new_2d(100, 130, 3, v5());
         assert_eq!(plan.blocks_x, 4); // ceil(100/32)
-        // groups: ceil(130/4) = 33; blocks_g = ceil(33/8) = 5.
+                                      // groups: ceil(130/4) = 33; blocks_g = ceil(33/8) = 5.
         assert_eq!(plan.blocks_g, 5);
         assert!(plan.blocks_g * plan.block_groups * (plan.nk + 1) >= 130);
     }
@@ -495,5 +568,58 @@ mod tests {
         let plan = Plan2D::new_3d_plane(128, 128, 3, v5());
         assert_eq!(plan.block_rows, 8);
         assert_eq!(plan.block_groups, 16); // 64 output columns
+    }
+
+    #[test]
+    fn try_constructors_report_typed_errors() {
+        assert_eq!(
+            Plan2D::try_new_2d(64, 64, 4, v5()),
+            Err(ConvStencilError::UnsupportedNk { nk: 4 })
+        );
+        assert_eq!(
+            Plan2D::try_new_2d(64, 64, 9, v5()),
+            Err(ConvStencilError::UnsupportedNk { nk: 9 })
+        );
+        assert_eq!(
+            Plan2D::try_new_2d(0, 64, 3, v5()),
+            Err(ConvStencilError::ZeroSizedGrid { dims: vec![0, 64] })
+        );
+        assert!(matches!(
+            Plan2D::try_with_block(64, 64, 3, 0, 8, v5()),
+            Err(ConvStencilError::PlanInvariant { .. })
+        ));
+    }
+
+    #[test]
+    fn try_build_ext_rejects_bad_grids() {
+        let plan = Plan2D::new_2d(20, 30, 7, v5());
+        let wrong_shape = Grid2D::new(21, 30, 3);
+        assert!(matches!(
+            plan.try_build_ext(&wrong_shape),
+            Err(ConvStencilError::ShapeMismatch { .. })
+        ));
+        let thin_halo = Grid2D::new(20, 30, 1);
+        assert_eq!(
+            plan.try_build_ext(&thin_halo),
+            Err(ConvStencilError::HaloTooSmall { halo: 1, radius: 3 })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "n_k must be 3, 5 or 7")]
+    fn panicking_wrapper_keeps_classic_message() {
+        Plan2D::new_2d(64, 64, 4, v5());
+    }
+
+    #[test]
+    fn dirty_bits_without_padding_is_a_plan_error() {
+        let mut variant = v5();
+        variant.padding = false;
+        // dirty_bits_lut still set: the plan must refuse rather than let
+        // dirty dumps alias useful columns.
+        assert!(matches!(
+            Plan2D::try_new_2d(64, 64, 7, variant),
+            Err(ConvStencilError::PlanInvariant { .. })
+        ));
     }
 }

@@ -95,7 +95,12 @@ impl Stencil2Row {
 /// row-major). Matrix dims follow Eq. 7/8 with rows rounded up for
 /// non-divisible widths; elements with no source (beyond the input edge)
 /// are zero.
-pub fn build_2d(padded: &[f64], prows: usize, pcols: usize, nk: usize) -> (Stencil2Row, Stencil2Row) {
+pub fn build_2d(
+    padded: &[f64],
+    prows: usize,
+    pcols: usize,
+    nk: usize,
+) -> (Stencil2Row, Stencil2Row) {
     assert_eq!(padded.len(), prows * pcols);
     let rows_a = pcols.div_ceil(nk + 1);
     let rows_b = pcols.saturating_sub(nk).div_ceil(nk + 1).max(1);
@@ -193,10 +198,16 @@ mod tests {
         assert_eq!(a.rows, 4); // ceil(16/4)
         assert_eq!(a.cols, 9); // 3 * 3
         let row0: Vec<f64> = (0..9).map(|c| a.get(0, c)).collect();
-        assert_eq!(row0, vec![0.0, 1.0, 2.0, 16.0, 17.0, 18.0, 32.0, 33.0, 34.0]);
+        assert_eq!(
+            row0,
+            vec![0.0, 1.0, 2.0, 16.0, 17.0, 18.0, 32.0, 33.0, 34.0]
+        );
         // Row 0 of B: columns 3..6 of each input row.
         let row0b: Vec<f64> = (0..9).map(|c| b.get(0, c)).collect();
-        assert_eq!(row0b, vec![3.0, 4.0, 5.0, 19.0, 20.0, 21.0, 35.0, 36.0, 37.0]);
+        assert_eq!(
+            row0b,
+            vec![3.0, 4.0, 5.0, 19.0, 20.0, 21.0, 35.0, 36.0, 37.0]
+        );
     }
 
     #[test]
@@ -225,9 +236,7 @@ mod tests {
             for y in 0..pcols {
                 let v = padded[x * pcols + y];
                 let from_a = map_a(x, y, nk).map(|(r, c)| a.get(r, c));
-                let from_b = map_b(x, y, nk).and_then(|(r, c)| {
-                    (r < b.rows).then(|| b.get(r, c))
-                });
+                let from_b = map_b(x, y, nk).and_then(|(r, c)| (r < b.rows).then(|| b.get(r, c)));
                 let got = from_a.or(from_b);
                 assert_eq!(got, Some(v), "input ({x},{y}) unrecoverable");
             }

@@ -78,11 +78,23 @@ impl VariantConfig {
     /// The Fig. 6 progression, in order.
     pub fn breakdown() -> [(&'static str, VariantConfig); 5] {
         [
-            ("I: explicit stencil2row + CUDA cores", Self::explicit_cuda()),
-            ("II: implicit stencil2row + CUDA cores", Self::implicit_cuda()),
-            ("III: implicit stencil2row + Tensor Cores", Self::implicit_tcu()),
+            (
+                "I: explicit stencil2row + CUDA cores",
+                Self::explicit_cuda(),
+            ),
+            (
+                "II: implicit stencil2row + CUDA cores",
+                Self::implicit_cuda(),
+            ),
+            (
+                "III: implicit stencil2row + Tensor Cores",
+                Self::implicit_tcu(),
+            ),
             ("IV: III + padding", Self::implicit_tcu_padded()),
-            ("V: ConvStencil (IV + dirty bits padding)", Self::conv_stencil()),
+            (
+                "V: ConvStencil (IV + dirty bits padding)",
+                Self::conv_stencil(),
+            ),
         ]
     }
 

@@ -155,7 +155,12 @@ mod tests {
             assert_eq!(w.a_at(p, 7), 0.0, "A column n_k must be zero");
         }
         for p in 0..49 {
-            assert_eq!(w.b_at(p, 7), (p + 1) as f64, "B column n_k holds a{}", p + 1);
+            assert_eq!(
+                w.b_at(p, 7),
+                (p + 1) as f64,
+                "B column n_k holds a{}",
+                p + 1
+            );
         }
         for p in 0..w.krows {
             assert_eq!(w.b_at(p, 0), 0.0, "B column 0 must be zero");

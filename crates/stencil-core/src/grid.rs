@@ -123,7 +123,12 @@ impl Grid2D {
     }
 
     /// Build from a function of interior coordinates (row, col).
-    pub fn from_fn(m: usize, n: usize, halo: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+    pub fn from_fn(
+        m: usize,
+        n: usize,
+        halo: usize,
+        mut f: impl FnMut(usize, usize) -> f64,
+    ) -> Self {
         let mut g = Self::new(m, n, halo);
         for x in 0..m {
             for y in 0..n {

@@ -301,7 +301,10 @@ mod tests {
         let k = Kernel2D::from_fn(2, |dx, dy| (dx * 10 + dy) as f64);
         for kx in 0..5 {
             for ky in 0..5 {
-                assert_eq!(k.weight_tl(kx, ky), k.weight(kx as isize - 2, ky as isize - 2));
+                assert_eq!(
+                    k.weight_tl(kx, ky),
+                    k.weight(kx as isize - 2, ky as isize - 2)
+                );
             }
         }
     }

@@ -30,4 +30,7 @@ pub use fusion::{auto_fusion_degree, compose1d, compose2d, compose3d, fuse1d, fu
 pub use grid::{fill_pseudorandom, Grid1D, Grid2D, Grid3D};
 pub use kernel::{Kernel1D, Kernel2D, Kernel3D};
 pub use shapes::{AnyKernel, Shape};
-pub use verify::{assert_close, assert_close_default, max_abs_diff, max_mixed_err, DEFAULT_TOL};
+pub use verify::{
+    assert_close, assert_close_default, check_close, check_close_default, max_abs_diff,
+    max_mixed_err, VerifyError, DEFAULT_TOL,
+};

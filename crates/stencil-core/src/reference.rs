@@ -122,8 +122,8 @@ pub fn step3d(src: &Grid3D, dst: &mut Grid3D, k: &Kernel3D) {
                             let px = (x + halo) as isize + dx;
                             let base = pz as usize * plane + px as usize * pcols + (y + halo);
                             for dy in -r..=r {
-                                sum += src_data[(base as isize + dy) as usize]
-                                    * k.weight(dz, dx, dy);
+                                sum +=
+                                    src_data[(base as isize + dy) as usize] * k.weight(dz, dx, dy);
                             }
                         }
                     }
@@ -210,11 +210,7 @@ pub fn run3d_valid(grid: &Grid3D, k: &Kernel3D, iters: usize) -> Grid3D {
     let ri = r as isize;
     let mut a = grid.clone();
     let mut b = grid.clone();
-    let (pd, pm, pn) = (
-        grid.padded_depth(),
-        grid.padded_rows(),
-        grid.padded_cols(),
-    );
+    let (pd, pm, pn) = (grid.padded_depth(), grid.padded_rows(), grid.padded_cols());
     let plane = pm * pn;
     for s in 1..=iters {
         let lo = s * r;

@@ -133,9 +133,7 @@ impl Shape {
     pub fn kernel(&self) -> AnyKernel {
         match self {
             Shape::Heat1D => AnyKernel::D1(Kernel1D::new(vec![0.25, 0.5, 0.25])),
-            Shape::OneD5P => {
-                AnyKernel::D1(Kernel1D::new(vec![0.0625, 0.25, 0.375, 0.25, 0.0625]))
-            }
+            Shape::OneD5P => AnyKernel::D1(Kernel1D::new(vec![0.0625, 0.25, 0.375, 0.25, 0.0625])),
             Shape::Heat2D => AnyKernel::D2(Kernel2D::star(0.5, &[0.125])),
             Shape::Box2D9P => AnyKernel::D2(Kernel2D::box_uniform(1)),
             Shape::Star2D9P => AnyKernel::D2(Kernel2D::star(0.6, &[0.07, 0.03])),

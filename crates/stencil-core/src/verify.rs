@@ -7,7 +7,13 @@
 
 /// Maximum absolute difference between two equal-length slices.
 pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "length mismatch: {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "length mismatch: {} vs {}",
+        a.len(),
+        b.len()
+    );
     a.iter()
         .zip(b)
         .map(|(x, y)| (x - y).abs())
@@ -17,7 +23,13 @@ pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
 /// Maximum mixed error: `|x - y| / max(1, |x|, |y|)` — behaves like
 /// absolute error near zero and relative error for large magnitudes.
 pub fn max_mixed_err(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "length mismatch: {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "length mismatch: {} vs {}",
+        a.len(),
+        b.len()
+    );
     a.iter()
         .zip(b)
         .map(|(x, y)| (x - y).abs() / x.abs().max(y.abs()).max(1.0))
@@ -27,16 +39,77 @@ pub fn max_mixed_err(a: &[f64], b: &[f64]) -> f64 {
 /// Default verification tolerance for simulated-vs-reference comparisons.
 pub const DEFAULT_TOL: f64 = 1e-10;
 
+/// A failed numerical comparison, carrying the first offending index.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VerifyError {
+    /// The slices cannot be compared at all.
+    LengthMismatch { left: usize, right: usize },
+    /// Mixed error exceeded the tolerance at `index`.
+    Mismatch {
+        index: usize,
+        left: f64,
+        right: f64,
+        mixed_err: f64,
+        tol: f64,
+    },
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::LengthMismatch { left, right } => {
+                write!(f, "length mismatch: {left} vs {right}")
+            }
+            VerifyError::Mismatch {
+                index,
+                left,
+                right,
+                mixed_err,
+                tol,
+            } => write!(
+                f,
+                "mismatch at index {index}: {left} vs {right} (mixed err {mixed_err:e} > {tol:e})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Non-panicking comparison under the mixed error metric: returns the first
+/// offending index, or `Ok(())` when the slices agree within `tol`.
+pub fn check_close(a: &[f64], b: &[f64], tol: f64) -> Result<(), VerifyError> {
+    if a.len() != b.len() {
+        return Err(VerifyError::LengthMismatch {
+            left: a.len(),
+            right: b.len(),
+        });
+    }
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        let err = (x - y).abs() / x.abs().max(y.abs()).max(1.0);
+        if err.is_nan() || err > tol {
+            return Err(VerifyError::Mismatch {
+                index: i,
+                left: *x,
+                right: *y,
+                mixed_err: err,
+                tol,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// `check_close` with [`DEFAULT_TOL`].
+pub fn check_close_default(a: &[f64], b: &[f64]) -> Result<(), VerifyError> {
+    check_close(a, b, DEFAULT_TOL)
+}
+
 /// Panics with the first offending index if the slices differ beyond `tol`
 /// under the mixed error metric.
 pub fn assert_close(a: &[f64], b: &[f64], tol: f64) {
-    assert_eq!(a.len(), b.len(), "length mismatch: {} vs {}", a.len(), b.len());
-    for (i, (x, y)) in a.iter().zip(b).enumerate() {
-        let err = (x - y).abs() / x.abs().max(y.abs()).max(1.0);
-        assert!(
-            err <= tol,
-            "mismatch at index {i}: {x} vs {y} (mixed err {err:e} > {tol:e})"
-        );
+    if let Err(e) = check_close(a, b, tol) {
+        panic!("{e}");
     }
 }
 
@@ -81,5 +154,27 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn length_mismatch_panics() {
         max_abs_diff(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn check_close_reports_first_mismatch() {
+        assert_eq!(check_close(&[1.0, 2.0], &[1.0, 2.0], 1e-10), Ok(()));
+        match check_close(&[1.0, 2.0, 9.0], &[1.0, 3.0, 1.0], 1e-10) {
+            Err(VerifyError::Mismatch { index: 1, .. }) => {}
+            other => panic!("expected mismatch at index 1, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn check_close_rejects_length_mismatch() {
+        match check_close(&[1.0], &[1.0, 2.0], 1e-10) {
+            Err(VerifyError::LengthMismatch { left: 1, right: 2 }) => {}
+            other => panic!("expected length mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn check_close_flags_nan() {
+        assert!(check_close(&[f64::NAN], &[1.0], 1e-10).is_err());
     }
 }

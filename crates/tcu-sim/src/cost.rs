@@ -109,8 +109,8 @@ impl CostModel {
         let t_tcu = (c.dmma_ops as f64 * cfg.cpi_dmma as f64
             + c.hmma_ops as f64 * cfg.cpi_hmma as f64)
             / (f * cfg.total_tcus() as f64);
-        let t_fma = c.cuda_fma_ops as f64
-            / (f * cfg.num_sms as f64 * cfg.fp64_fma_per_cycle_per_sm as f64);
+        let t_fma =
+            c.cuda_fma_ops as f64 / (f * cfg.num_sms as f64 * cfg.fp64_fma_per_cycle_per_sm as f64);
         let int_equiv = c.int_ops as f64
             + c.int_divmod_ops as f64 * cfg.divmod_int_op_equiv as f64
             + c.branch_ops as f64 * cfg.branch_int_op_equiv as f64;
@@ -137,8 +137,8 @@ impl CostModel {
             } else {
                 0.0
             };
-        let shared_bytes = c.shared_read_bytes as f64 * read_replay
-            + c.shared_write_bytes as f64 * write_replay;
+        let shared_bytes =
+            c.shared_read_bytes as f64 * read_replay + c.shared_write_bytes as f64 * write_replay;
         let t_shared = shared_bytes / cfg.shared_bw_bytes();
         (t_global, t_shared)
     }
@@ -162,8 +162,8 @@ impl CostModel {
         let t_launch = stats.kernel_launches as f64 * self.config.launch_overhead_sec;
         // Eq. 2 with imperfect overlap: the minor term is partially
         // exposed (see DeviceConfig::overlap_exposure).
-        let t_core = t_compute.max(t_memory)
-            + self.config.overlap_exposure * t_compute.min(t_memory);
+        let t_core =
+            t_compute.max(t_memory) + self.config.overlap_exposure * t_compute.min(t_memory);
         let total = t_core / (self.config.efficiency * eff_par) + t_launch;
         CostBreakdown {
             t_tcu,
@@ -182,7 +182,13 @@ impl CostModel {
 
     /// Throughput in GStencils/s (Eq. 16) for `points` stencil points
     /// updated over `iters` time steps under the modelled time.
-    pub fn gstencils_per_sec(&self, c: &Counters, stats: &LaunchStats, points: u64, iters: u64) -> f64 {
+    pub fn gstencils_per_sec(
+        &self,
+        c: &Counters,
+        stats: &LaunchStats,
+        points: u64,
+        iters: u64,
+    ) -> f64 {
         let t = self.evaluate(c, stats).total;
         if t <= 0.0 {
             return 0.0;
@@ -308,8 +314,7 @@ mod tests {
         };
         let b = m.evaluate(&c, &stats);
         assert!(b.compute_bound());
-        let expected = (b.t_compute + m.config.overlap_exposure * b.t_memory)
-            / m.config.efficiency
+        let expected = (b.t_compute + m.config.overlap_exposure * b.t_memory) / m.config.efficiency
             + m.config.launch_overhead_sec;
         assert!((b.total - expected).abs() / expected < 1e-12);
     }

@@ -63,6 +63,14 @@ pub struct Counters {
     pub shared_read_conflicts: u64,
     /// Extra serialized replays caused by store bank conflicts.
     pub shared_write_conflicts: u64,
+
+    /// Injected DMMA accumulator bit flips (fault injection; see
+    /// `tcu_sim::fault`).
+    pub frag_faults_injected: u64,
+    /// Injected shared-memory store corruptions.
+    pub smem_faults_injected: u64,
+    /// Injected whole-launch failures.
+    pub launch_faults_injected: u64,
 }
 
 impl Counters {
@@ -108,6 +116,11 @@ impl Counters {
     /// Total MMA instructions of all precisions.
     pub fn total_mma_ops(&self) -> u64 {
         self.dmma_ops + self.hmma_ops
+    }
+
+    /// Total injected faults of every class.
+    pub fn faults_injected(&self) -> u64 {
+        self.frag_faults_injected + self.smem_faults_injected + self.launch_faults_injected
     }
 
     /// Sector inflation factor for global reads: actual / minimum.
@@ -161,6 +174,9 @@ impl Counters {
             shared_scalar_requests: s(self.shared_scalar_requests),
             shared_read_conflicts: s(self.shared_read_conflicts),
             shared_write_conflicts: s(self.shared_write_conflicts),
+            frag_faults_injected: s(self.frag_faults_injected),
+            smem_faults_injected: s(self.smem_faults_injected),
+            launch_faults_injected: s(self.launch_faults_injected),
         }
     }
 }
@@ -197,6 +213,9 @@ impl AddAssign for Counters {
         self.shared_scalar_requests += rhs.shared_scalar_requests;
         self.shared_read_conflicts += rhs.shared_read_conflicts;
         self.shared_write_conflicts += rhs.shared_write_conflicts;
+        self.frag_faults_injected += rhs.frag_faults_injected;
+        self.smem_faults_injected += rhs.smem_faults_injected;
+        self.launch_faults_injected += rhs.launch_faults_injected;
     }
 }
 

@@ -14,6 +14,8 @@
 use crate::config::DeviceConfig;
 use crate::cost::{CostBreakdown, CostModel, LaunchStats};
 use crate::counters::Counters;
+use crate::error::DeviceError;
+use crate::fault::{self, FaultPlan, FaultState};
 use crate::fragment::{dmma, hmma, FragA, FragAcc, FragB, Tile16};
 use crate::global::{BufferId, GlobalMemory, INACTIVE};
 use crate::shared::SharedMemory;
@@ -44,6 +46,15 @@ pub struct Device {
     pub counters: Counters,
     /// Cumulative launch-shape statistics.
     pub launch_stats: LaunchStats,
+    /// Active fault-injection plan, if any (see [`crate::fault`]).
+    fault: Option<FaultPlan>,
+    /// Retry generation: bumping this reshuffles every fault decision, so a
+    /// retried launch sequence does not deterministically hit the same
+    /// faults.
+    fault_epoch: u64,
+    /// Monotone count of `try_launch` calls, including ones that failed —
+    /// the launch coordinate for fault decisions.
+    launch_attempts: u64,
 }
 
 impl Device {
@@ -53,6 +64,9 @@ impl Device {
             global: GlobalMemory::new(),
             counters: Counters::default(),
             launch_stats: LaunchStats::default(),
+            fault: None,
+            fault_epoch: 0,
+            launch_attempts: 0,
         }
     }
 
@@ -91,23 +105,80 @@ impl Device {
         self.launch_stats = LaunchStats::default();
     }
 
+    // ---- Fault injection ----------------------------------------------
+
+    /// Install (or clear) a fault-injection plan. Subsequent launches fault
+    /// deterministically according to the plan.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault = plan;
+    }
+
+    /// Builder-style [`Device::set_fault_plan`].
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
+    }
+
+    /// Move to the next fault epoch. Retry logic calls this so a repeated
+    /// launch sequence sees a fresh (but still deterministic) fault stream.
+    pub fn advance_fault_epoch(&mut self) {
+        self.fault_epoch += 1;
+    }
+
+    pub fn fault_epoch(&self) -> u64 {
+        self.fault_epoch
+    }
+
     /// Launch a kernel of `num_blocks` blocks, each with `shared_len` f64
     /// of shared memory. The closure runs once per block index.
     ///
-    /// Panics if the requested shared memory exceeds the device's per-SM
-    /// capacity — the same hard constraint a real launch would hit.
+    /// Panics where [`Device::try_launch`] would return an error — kept for
+    /// call sites that treat launch failure as a bug.
     pub fn launch<F>(&mut self, num_blocks: usize, shared_len: usize, kernel: F)
     where
         F: Fn(usize, &mut BlockCtx) + Sync,
     {
-        assert!(
-            shared_len * 8 <= self.config.shared_capacity_bytes as usize,
-            "requested {} B of shared memory; device has {} B per SM",
-            shared_len * 8,
-            self.config.shared_capacity_bytes
-        );
+        if let Err(e) = self.try_launch(num_blocks, shared_len, kernel) {
+            panic!("{e} (shared memory / launch fault)");
+        }
+    }
+
+    /// Fallible launch: rejects oversized shared-memory requests and honours
+    /// the active fault plan's launch-failure rate. On `Err` no block has
+    /// run and no global write has retired.
+    pub fn try_launch<F>(
+        &mut self,
+        num_blocks: usize,
+        shared_len: usize,
+        kernel: F,
+    ) -> Result<(), DeviceError>
+    where
+        F: Fn(usize, &mut BlockCtx) + Sync,
+    {
+        if shared_len * 8 > self.config.shared_capacity_bytes as usize {
+            return Err(DeviceError::SharedMemoryExceeded {
+                requested_bytes: shared_len * 8,
+                capacity_bytes: self.config.shared_capacity_bytes,
+            });
+        }
+        let attempt = self.launch_attempts;
+        self.launch_attempts += 1;
+        if let Some(plan) = &self.fault {
+            if fault::launch_fails(plan, self.fault_epoch, attempt) {
+                self.counters.launch_faults_injected += 1;
+                return Err(DeviceError::InjectedLaunchFailure {
+                    launch_attempt: attempt,
+                });
+            }
+        }
         let cfg = &self.config;
         let global = &self.global;
+        let fault_plan = self.fault;
+        let fault_epoch = self.fault_epoch;
         let outcomes: Vec<BlockOutcome> = (0..num_blocks)
             .into_par_iter()
             .map(|block_id| {
@@ -118,6 +189,8 @@ impl Device {
                     counters: Counters::default(),
                     writes: Vec::new(),
                     scatter_writes: Vec::new(),
+                    fault: fault_plan
+                        .map(|p| FaultState::new(p, fault_epoch, attempt, block_id as u64)),
                 };
                 kernel(block_id, &mut ctx);
                 BlockOutcome {
@@ -143,6 +216,7 @@ impl Device {
         }
         self.launch_stats.kernel_launches += 1;
         self.launch_stats.total_blocks += num_blocks as u64;
+        Ok(())
     }
 
     /// Evaluate the performance model over everything run so far.
@@ -174,6 +248,8 @@ pub struct BlockCtx<'a> {
     /// from [`WriteRun`] so a scattered warp write does not allocate one
     /// vector per lane.
     scatter_writes: Vec<(BufferId, usize, f64)>,
+    /// Per-block fault stream (None when no plan is installed).
+    fault: Option<FaultState>,
 }
 
 impl BlockCtx<'_> {
@@ -294,8 +370,19 @@ impl BlockCtx<'_> {
         self.shared.load(&mut self.counters, addrs, out);
     }
 
-    /// Warp-level shared store with bank-conflict accounting.
+    /// Warp-level shared store with bank-conflict accounting. An active
+    /// fault plan may silently corrupt one stored value.
     pub fn smem_store(&mut self, addrs: &[usize], vals: &[f64]) {
+        if let Some(fault) = &mut self.fault {
+            if let Some(h) = fault.smem_corrupt() {
+                let lane = (h >> 8) as usize % vals.len();
+                let mut corrupted = vals.to_vec();
+                corrupted[lane] = crate::fault::corrupt_value(vals[lane], h);
+                self.counters.smem_faults_injected += 1;
+                self.shared.store(&mut self.counters, addrs, &corrupted);
+                return;
+            }
+        }
         self.shared.store(&mut self.counters, addrs, vals);
     }
 
@@ -319,10 +406,19 @@ impl BlockCtx<'_> {
 
     // ---- Compute -------------------------------------------------------
 
-    /// Issue one FP64 `m8n8k4` MMA: `acc += a * b`.
+    /// Issue one FP64 `m8n8k4` MMA: `acc += a * b`. An active fault plan
+    /// may flip a high-order bit in one accumulator lane after the MMA
+    /// retires (models an uncorrected datapath upset).
     pub fn dmma(&mut self, a: &FragA, b: &FragB, acc: &mut FragAcc) {
         dmma(a, b, acc);
         self.counters.dmma_ops += 1;
+        if let Some(fault) = &mut self.fault {
+            if let Some(h) = fault.dmma_flip() {
+                let lane = (h >> 8) as usize % acc.data.len();
+                acc.data[lane] = crate::fault::corrupt_value(acc.data[lane], h);
+                self.counters.frag_faults_injected += 1;
+            }
+        }
     }
 
     /// Issue one FP16-class `m16n16k16` MMA (TCStencil analog).

@@ -133,7 +133,12 @@ impl GlobalMemory {
 
     /// Account a warp-level write (values are buffered by the caller until
     /// the launch retires; this only does the event accounting).
-    pub(crate) fn account_write(&self, counters: &mut Counters, addrs: &[usize], sector_f64: usize) {
+    pub(crate) fn account_write(
+        &self,
+        counters: &mut Counters,
+        addrs: &[usize],
+        sector_f64: usize,
+    ) {
         Self::account(counters, addrs, sector_f64, false);
     }
 }

@@ -34,6 +34,8 @@ pub mod config;
 pub mod cost;
 pub mod counters;
 pub mod device;
+pub mod error;
+pub mod fault;
 pub mod fragment;
 pub mod global;
 pub mod shared;
@@ -42,6 +44,8 @@ pub use config::{DeviceConfig, LatencyTable};
 pub use cost::{CostBreakdown, CostModel, LaunchStats};
 pub use counters::Counters;
 pub use device::{BlockCtx, Device};
+pub use error::DeviceError;
+pub use fault::FaultPlan;
 pub use fragment::{dmma, hmma, FragA, FragAcc, FragB, Tile16};
 pub use global::{BufferId, GlobalMemory, INACTIVE};
 pub use shared::{conflict_free_pad, stride_is_conflict_free, SharedMemory};

@@ -8,7 +8,7 @@
 //! ```
 
 use convstencil_repro::convstencil::ConvStencil2D;
-use convstencil_repro::stencil_core::{run2d_periodic, Boundary, Grid2D, Kernel2D, Shape};
+use convstencil_repro::stencil_core::{run2d_periodic, Boundary, Grid2D, Shape};
 
 fn main() {
     let kernel = Shape::Box2D9P.kernel2d().unwrap();
@@ -29,7 +29,10 @@ fn main() {
     // Exactness everywhere, including the wrapped corners.
     let want = run2d_periodic(&grid, &kernel, steps);
     let err = convstencil_repro::stencil_core::max_mixed_err(&out.interior(), &want.interior());
-    println!("max error vs the periodic reference (all {} points): {err:.2e}", m * n);
+    println!(
+        "max error vs the periodic reference (all {} points): {err:.2e}",
+        m * n
+    );
     assert!(err < 1e-10);
 
     // Mass is conserved exactly on the torus (no absorbing boundary).

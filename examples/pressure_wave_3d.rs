@@ -39,10 +39,7 @@ fn main() {
 
     // Numerics vs the naive reference.
     let want = reference::run3d(&volume, &kernel, 4);
-    convstencil_repro::stencil_core::assert_close_default(
-        &result.interior(),
-        &want.interior(),
-    );
+    convstencil_repro::stencil_core::assert_close_default(&result.interior(), &want.interior());
     println!("matches the naive 3D reference to < 1e-10");
 
     // Quick comparison against two baseline systems on the same workload.

@@ -33,10 +33,8 @@ fn main() {
 
     // Verify: 6 steps at fusion 3 = two applications of the fused kernel.
     let expected = reference::run2d(&grid, cs.fused_kernel(), 2);
-    let err = convstencil_repro::stencil_core::max_mixed_err(
-        &result.interior(),
-        &expected.interior(),
-    );
+    let err =
+        convstencil_repro::stencil_core::max_mixed_err(&result.interior(), &expected.interior());
     println!("max error vs reference: {err:.2e}");
     assert!(err < 1e-10, "ConvStencil result must match the reference");
 

@@ -20,7 +20,12 @@ fn assert_core_2d(got: &Grid2D, want: &Grid2D, margin: usize) {
 
 #[test]
 fn every_2d_benchmark_shape_matches_reference() {
-    for shape in [Shape::Heat2D, Shape::Box2D9P, Shape::Star2D13P, Shape::Box2D49P] {
+    for shape in [
+        Shape::Heat2D,
+        Shape::Box2D9P,
+        Shape::Star2D13P,
+        Shape::Box2D49P,
+    ] {
         let kernel = shape.kernel2d().unwrap();
         let cs = ConvStencil2D::new(kernel.clone());
         let mut grid = Grid2D::new(96, 160, cs.fused_kernel().radius());
@@ -30,7 +35,10 @@ fn every_2d_benchmark_shape_matches_reference() {
         let want = reference::run2d(&grid, &kernel, steps);
         assert_core_2d(&got, &want, steps * kernel.radius() + 1);
         assert!(report.counters.dmma_ops > 0, "{shape}");
-        assert_eq!(report.counters.int_divmod_ops, 0, "{shape}: variant V has a LUT");
+        assert_eq!(
+            report.counters.int_divmod_ops, 0,
+            "{shape}: variant V has a LUT"
+        );
     }
 }
 
@@ -80,10 +88,7 @@ fn three_dimensional_shapes_match_reference() {
         grid.fill_random(8);
         let (got, report) = cs.run(&grid, 3);
         let want = reference::run3d(&grid, &kernel, 3);
-        convstencil_repro::stencil_core::assert_close_default(
-            &got.interior(),
-            &want.interior(),
-        );
+        convstencil_repro::stencil_core::assert_close_default(&got.interior(), &want.interior());
         assert!(report.counters.dmma_ops > 0, "{shape}");
     }
 }
@@ -98,10 +103,7 @@ fn arbitrary_grid_shapes_are_handled() {
         grid.fill_random((m * n) as u64);
         let (got, _) = cs.run(&grid, 3);
         let want = reference::run2d(&grid, cs.fused_kernel(), 1);
-        convstencil_repro::stencil_core::assert_close_default(
-            &got.interior(),
-            &want.interior(),
-        );
+        convstencil_repro::stencil_core::assert_close_default(&got.interior(), &want.interior());
     }
 }
 
@@ -113,7 +115,10 @@ fn long_runs_stay_stable() {
     let mut grid = Grid2D::new(64, 64, 3);
     grid.fill_random(1);
     let (out, report) = cs.run(&grid, 30);
-    assert!(out.interior().iter().all(|v| v.is_finite() && v.abs() < 2.0));
+    assert!(out
+        .interior()
+        .iter()
+        .all(|v| v.is_finite() && v.abs() < 2.0));
     assert_eq!(report.steps, 30);
     assert_eq!(report.launch_stats.kernel_launches, 10); // 30 steps / fusion 3
 }

@@ -2,9 +2,7 @@
 //! produces the same numbers on the same workloads — the precondition for
 //! any performance comparison between them.
 
-use convstencil_repro::baselines::{
-    figure7_systems, NaiveGpu, ProblemSize, StencilSystem,
-};
+use convstencil_repro::baselines::{figure7_systems, NaiveGpu, ProblemSize, StencilSystem};
 use convstencil_repro::stencil_core::Shape;
 
 fn small_size(shape: Shape) -> ProblemSize {
@@ -64,7 +62,11 @@ fn all_systems_agree_on_all_benchmarks() {
         let reference = NaiveGpu.run(shape, size, steps, 42).unwrap();
         for sys in &systems {
             let Some(result) = sys.run(shape, size, steps, 42) else {
-                assert!(!sys.supports(shape), "{} returned None for supported {shape}", sys.name());
+                assert!(
+                    !sys.supports(shape),
+                    "{} returned None for supported {shape}",
+                    sys.name()
+                );
                 continue;
             };
             assert_eq!(result.output.len() as u64, size.points());

@@ -6,17 +6,16 @@ use convstencil_repro::convstencil::exec2d::{run_2d_applications, Exec2D};
 use convstencil_repro::convstencil::model;
 use convstencil_repro::convstencil::stencil2row::{build_2d, map_a, map_b, unmap_a, unmap_b};
 use convstencil_repro::convstencil::tessellation::host_convstencil_2d;
-use convstencil_repro::convstencil::{VariantConfig, WeightMatrices};
-use convstencil_repro::stencil_core::{
-    fill_pseudorandom, fuse2d, reference, Grid2D, Kernel2D,
+use convstencil_repro::convstencil::{
+    ConvStencil2D, ConvStencilError, Plan2D, VariantConfig, WeightMatrices,
 };
+use convstencil_repro::stencil_core::{fill_pseudorandom, fuse2d, reference, Grid2D, Kernel2D};
 use convstencil_repro::tcu_sim::{conflict_free_pad, stride_is_conflict_free, Device};
 use proptest::prelude::*;
 
 fn arb_kernel(radius: usize) -> impl Strategy<Value = Kernel2D> {
     let nk = 2 * radius + 1;
-    proptest::collection::vec(-1.0f64..1.0, nk * nk)
-        .prop_map(move |w| Kernel2D::new(radius, w))
+    proptest::collection::vec(-1.0f64..1.0, nk * nk).prop_map(move |w| Kernel2D::new(radius, w))
 }
 
 proptest! {
@@ -148,6 +147,48 @@ proptest! {
         let ext0 = exec.plan.build_ext(&grid);
         run_2d_applications(&mut dev, &exec, &ext0, 1);
         prop_assert_eq!(dev.counters.dmma_ops, model::convstencil_mma_count(m, n, nk));
+    }
+
+    /// Error path: any even or oversized kernel edge is rejected with the
+    /// matching typed error, never a panic.
+    #[test]
+    fn bad_nk_yields_unsupported_nk(
+        nk in prop::sample::select(vec![1usize, 2, 4, 6, 9, 11, 15]),
+    ) {
+        let err = Plan2D::try_new_2d(32, 32, nk, VariantConfig::conv_stencil()).unwrap_err();
+        prop_assert_eq!(err, ConvStencilError::UnsupportedNk { nk });
+    }
+
+    /// Error path: a grid whose halo is thinner than the kernel radius is
+    /// rejected with `HaloTooSmall` carrying both numbers.
+    #[test]
+    fn thin_halo_yields_halo_too_small(
+        radius in prop::sample::select(vec![2usize, 3]),
+        halo in 0usize..2,
+    ) {
+        prop_assume!(halo < radius);
+        let plan = Plan2D::try_new_2d(16, 16, 2 * radius + 1, VariantConfig::conv_stencil())
+            .unwrap();
+        let grid = Grid2D::new(16, 16, halo);
+        let err = plan.try_build_ext(&grid).unwrap_err();
+        prop_assert_eq!(err, ConvStencilError::HaloTooSmall { halo, radius });
+    }
+
+    /// Error path: zero-sized grids are rejected by the high-level API
+    /// with `ZeroSizedGrid` listing the offending dims.
+    #[test]
+    fn zero_sized_grid_yields_typed_error(
+        m in 0usize..2,
+        n in 0usize..2,
+        seed in 0u64..10,
+    ) {
+        prop_assume!(m == 0 || n == 0);
+        let kernel = Kernel2D::box_uniform(1);
+        let mut grid = Grid2D::new(m, n, 1);
+        grid.fill_random(seed);
+        let cs = ConvStencil2D::try_new(kernel).unwrap();
+        let err = cs.try_run(&grid, 1).unwrap_err();
+        prop_assert_eq!(err, ConvStencilError::ZeroSizedGrid { dims: vec![m, n] });
     }
 
     /// The full simulated pipeline matches the reference for random

@@ -1,0 +1,133 @@
+//! Offline stub of `criterion` (see `vendor/README.md`).
+//!
+//! Provides the API surface the workspace benches use. Instead of
+//! statistical sampling, every benchmark body runs a small fixed number of
+//! iterations and the mean wall time is printed — enough to smoke-test
+//! bench targets offline.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+const ITERS: u32 = 3;
+
+/// Benchmark identifier (`group/function/parameter`).
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new<P: Display>(function: &str, parameter: P) -> Self {
+        Self {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        Self { label }
+    }
+}
+
+/// Per-iteration timer handle.
+pub struct Bencher {
+    nanos: u128,
+    iters: u32,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        for _ in 0..ITERS {
+            let t0 = Instant::now();
+            black_box(body());
+            self.nanos += t0.elapsed().as_nanos();
+            self.iters += 1;
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, label: &str, mut body: F) {
+        let mut b = Bencher { nanos: 0, iters: 0 };
+        body(&mut b);
+        let mean = if b.iters > 0 { b.nanos / b.iters as u128 } else { 0 };
+        println!("bench {}/{label}: {} ns/iter (stub, {} iters)", self.name, mean, b.iters);
+    }
+
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        body: F,
+    ) -> &mut Self {
+        let id = id.into();
+        self.run(&id.label, body);
+        self
+    }
+
+    pub fn bench_with_input<P, F>(&mut self, id: BenchmarkId, input: &P, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &P),
+    {
+        let label = id.label.clone();
+        self.run(&label, |b| body(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, body: F) -> &mut Self {
+        self.benchmark_group(name.to_string()).bench_function(name, body);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        $crate::criterion_group!($group, $($target),+);
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

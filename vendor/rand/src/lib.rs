@@ -1,0 +1,31 @@
+//! Offline stub of `rand` (see `vendor/README.md`).
+//!
+//! The workspace seeds all of its own pseudo-random fills
+//! (`stencil_core::fill_pseudorandom`), so this stub only has to exist for
+//! dependency resolution. A tiny deterministic splitmix64 generator is
+//! provided in case future code wants `rand`-style helpers.
+
+/// Deterministic splitmix64 stream.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in [0, 1).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}

@@ -1,0 +1,45 @@
+//! Offline stub of `rayon` (see `vendor/README.md`).
+//!
+//! Maps the parallel-iterator entry points the workspace uses onto plain
+//! sequential `std` iterators. Semantics are identical — the simulator's
+//! launch reduction is already written to be deterministic regardless of
+//! execution order — only host-side wall-clock parallelism is lost, which
+//! the workspace never measures (device time is modelled, not timed).
+
+pub mod prelude {
+    /// `into_par_iter()` → the type's ordinary sequential iterator.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+    impl<I: IntoIterator> IntoParallelIterator for I {}
+
+    /// `par_chunks_mut()` → `chunks_mut()`.
+    pub trait ParallelSliceMut<T> {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+
+    /// `par_iter()` → `iter()`.
+    pub trait IntoParallelRefIterator<'a> {
+        type Iter;
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+        type Iter = std::slice::Iter<'a, T>;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Iter = std::slice::Iter<'a, T>;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline stub of `serde` (see `vendor/README.md`).
+//!
+//! The workspace derives `Serialize`/`Deserialize` on report/config types
+//! but never serializes them through a format crate, so the stub only has
+//! to make the derives compile. The traits are empty markers and the
+//! derive macros emit empty impls.
+
+pub trait Serialize {}
+
+pub trait Deserialize<'de>: Sized {}
+
+/// Owned-deserialization alias mirroring serde's blanket rule.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

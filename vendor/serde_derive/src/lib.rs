@@ -1,0 +1,18 @@
+//! Offline stub of `serde_derive` (see `vendor/README.md`).
+//!
+//! The workspace derives `Serialize`/`Deserialize` for documentation and
+//! future format support, but nothing in the build requires the impls, so
+//! the stub derives accept the input (including `#[serde(...)]` attributes)
+//! and expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
