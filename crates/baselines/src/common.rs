@@ -99,6 +99,7 @@ pub fn report_from_device(dev: &Device, points: u64, steps: u64) -> RunReport {
         retries: 0,
         degraded: false,
         verified: false,
+        trace: None,
     }
 }
 

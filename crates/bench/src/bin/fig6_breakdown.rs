@@ -8,7 +8,8 @@
 use convstencil::{ConvStencil1D, ConvStencil2D, ConvStencil3D, RunReport, VariantConfig};
 use convstencil_baselines::ProblemSize;
 use convstencil_bench::report::{banner, fmt_delta_pct, render_table};
-use convstencil_bench::{project_report, quick_mode, workload_for};
+use convstencil_bench::{project_report, quick_mode, workload_for, BenchRecord};
+use std::time::Instant;
 use stencil_core::{Grid1D, Grid2D, Grid3D, Shape};
 use tcu_sim::DeviceConfig;
 
@@ -51,6 +52,7 @@ fn main() {
         ("Box-2D9P", ["-", "+170%", "+68%", "+14%", "+19%"]),
         ("Box-3D27P", ["-", "+67%", "+44%", "+10%", "+13%"]),
     ];
+    let mut bench_records: Vec<BenchRecord> = Vec::new();
     for (si, shape) in [Shape::Heat1D, Shape::Box2D9P, Shape::Box3D27P]
         .iter()
         .enumerate()
@@ -66,9 +68,23 @@ fn main() {
             "Paper".to_string(),
         ]];
         let mut prev: Option<f64> = None;
-        for (vi, (name, variant)) in VariantConfig::breakdown().into_iter().enumerate() {
+        let variants = VariantConfig::breakdown();
+        let last_variant = variants.len() - 1;
+        for (vi, (name, variant)) in variants.into_iter().enumerate() {
+            let run_start = Instant::now();
             let report = run_variant(*shape, w.measure_size, w.measure_steps, variant);
+            let wall_ms = run_start.elapsed().as_secs_f64() * 1e3;
             let proj = project_report(&report, &cfg, w.paper_size.points(), w.paper_iters);
+            // One BENCH record per shape, for the fully-optimized variant.
+            if vi == last_variant {
+                bench_records.push(BenchRecord {
+                    workload: shape.name().to_string(),
+                    modeled_ms: report.cost.total * 1e3,
+                    wall_ms,
+                    gstencils_per_sec: proj.gstencils_per_sec,
+                    counters: report.counters,
+                });
+            }
             let delta = prev
                 .map(|p| fmt_delta_pct(proj.gstencils_per_sec, p))
                 .unwrap_or_else(|| "-".to_string());
@@ -84,4 +100,5 @@ fn main() {
         print!("{}", render_table(&rows));
         convstencil_bench::maybe_write_csv(&format!("fig6_{}", shape.cli_name()), &rows);
     }
+    convstencil_bench::maybe_write_bench_json("fig6_breakdown", &bench_records);
 }

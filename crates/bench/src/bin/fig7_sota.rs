@@ -9,7 +9,8 @@
 
 use convstencil_baselines::{figure7_systems, NaiveGpu, ProblemSize, StencilSystem};
 use convstencil_bench::report::{banner, fmt_opt, render_table};
-use convstencil_bench::{project_report, quick_mode, table4};
+use convstencil_bench::{project_report, quick_mode, table4, BenchRecord};
+use std::time::Instant;
 use tcu_sim::DeviceConfig;
 
 /// Deep-interior correctness check of a system's output vs the naive
@@ -69,14 +70,17 @@ fn main() {
     header.push("Speedup vs best".into());
     let mut rows = vec![header];
     let mut speedups: Vec<f64> = Vec::new();
+    let mut bench_records: Vec<BenchRecord> = Vec::new();
     for w in table4() {
         let w = if quick { w.quick() } else { w };
         let reference = NaiveGpu
             .run(w.shape, w.measure_size, w.measure_steps, 42)
             .unwrap();
         let mut cells: Vec<Option<f64>> = Vec::new();
-        for sys in &systems {
+        for (si, sys) in systems.iter().enumerate() {
+            let run_start = Instant::now();
             let result = sys.run(w.shape, w.measure_size, w.measure_steps, 42);
+            let wall_ms = run_start.elapsed().as_secs_f64() * 1e3;
             let proj = result.map(|r| {
                 verify(
                     w.shape,
@@ -85,8 +89,21 @@ fn main() {
                     &r.output,
                     &reference.output,
                 );
-                project_report(&r.report, &cfg, w.paper_size.points(), w.paper_iters)
-                    .gstencils_per_sec
+                let gstencils =
+                    project_report(&r.report, &cfg, w.paper_size.points(), w.paper_iters)
+                        .gstencils_per_sec;
+                // One BENCH record per workload, for the ConvStencil
+                // column (the last system in the Fig. 7 lineup).
+                if si == systems.len() - 1 {
+                    bench_records.push(BenchRecord {
+                        workload: w.shape.name().to_string(),
+                        modeled_ms: r.report.cost.total * 1e3,
+                        wall_ms,
+                        gstencils_per_sec: gstencils,
+                        counters: r.report.counters,
+                    });
+                }
+                gstencils
             });
             cells.push(proj);
         }
@@ -105,6 +122,7 @@ fn main() {
     }
     print!("{}", render_table(&rows));
     convstencil_bench::maybe_write_csv("fig7_sota", &rows);
+    convstencil_bench::maybe_write_bench_json("fig7_sota", &bench_records);
     let geo = speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64;
     println!(
         "\nGeo-mean speedup of ConvStencil over the best competing system: {:.2}x",

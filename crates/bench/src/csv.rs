@@ -13,25 +13,45 @@ pub fn csv_mode() -> bool {
     std::env::args().any(|a| a == "--csv")
 }
 
-/// Escape one CSV cell (quotes fields containing separators/quotes).
+/// Escape one CSV cell (quotes fields containing separators, quotes, or
+/// either line-break character — a bare `\r` breaks RFC-4180 readers just
+/// like `\n` does).
 fn escape(cell: &str) -> String {
-    if cell.contains([',', '"', '\n']) {
+    if cell.contains([',', '"', '\n', '\r']) {
         format!("\"{}\"", cell.replace('"', "\"\""))
     } else {
         cell.to_string()
     }
 }
 
-/// Write rows (header first) to `results/<name>.csv`. Returns the path.
+/// Write `contents` to `path` by writing a sibling `<path>.tmp` and
+/// renaming it over the target, so a crash mid-write never leaves a
+/// truncated artifact and concurrent readers see old-or-new, not partial.
+pub fn atomic_write(path: &Path, contents: &str) -> std::io::Result<()> {
+    let mut tmp_name = path.as_os_str().to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = PathBuf::from(tmp_name);
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(contents.as_bytes())?;
+    f.sync_all()?;
+    drop(f);
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Write rows (header first) to `results/<name>.csv` atomically. Returns
+/// the path.
 pub fn write_csv(name: &str, rows: &[Vec<String>]) -> std::io::Result<PathBuf> {
     let dir = Path::new(RESULTS_DIR);
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{name}.csv"));
-    let mut f = std::fs::File::create(&path)?;
+    let mut out = String::new();
     for row in rows {
         let line: Vec<String> = row.iter().map(|c| escape(c)).collect();
-        writeln!(f, "{}", line.join(","))?;
+        out.push_str(&line.join(","));
+        out.push('\n');
     }
+    atomic_write(&path, &out)?;
     Ok(path)
 }
 
@@ -55,6 +75,11 @@ mod tests {
         assert_eq!(escape("plain"), "plain");
         assert_eq!(escape("a,b"), "\"a,b\"");
         assert_eq!(escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(escape("line\nbreak"), "\"line\nbreak\"");
+        // A bare carriage return is a record separator to RFC-4180
+        // readers and must be quoted too.
+        assert_eq!(escape("carriage\rreturn"), "\"carriage\rreturn\"");
+        assert_eq!(escape("crlf\r\nrow"), "\"crlf\r\nrow\"");
     }
 
     #[test]
@@ -70,7 +95,22 @@ mod tests {
         ];
         let path = write_csv("unit_test", &rows).unwrap();
         let content = std::fs::read_to_string(&path).unwrap();
+        // The temp file must be gone: write_csv publishes via rename.
+        let leftover = path.with_file_name("unit_test.csv.tmp").exists();
         std::env::set_current_dir(old).unwrap();
         assert_eq!(content, "a,b\n1,\"x,y\"\n");
+        assert!(!leftover, "atomic rename left the temp file behind");
+    }
+
+    #[test]
+    fn atomic_write_replaces_existing_content() {
+        let dir = std::env::temp_dir().join("convstencil_atomic_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("artifact.txt");
+        atomic_write(&path, "first\n").unwrap();
+        atomic_write(&path, "second\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second\n");
+        assert!(!dir.join("artifact.txt.tmp").exists());
     }
 }

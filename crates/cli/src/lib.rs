@@ -20,10 +20,12 @@
 //! (this is a simulator; see DESIGN.md).
 
 use convstencil::{
-    ConvStencil1D, ConvStencil2D, ConvStencil3D, ConvStencilError, RunReport, VariantConfig,
+    ConvStencil1D, ConvStencil2D, ConvStencil3D, ConvStencilError, Profile, RunReport,
+    VariantConfig,
 };
+use std::path::PathBuf;
 use stencil_core::{Grid1D, Grid2D, Grid3D, Kernel1D, Kernel2D, Kernel3D, Shape};
-use tcu_sim::{CostModel, DeviceConfig, LaunchStats};
+use tcu_sim::{CostModel, DeviceConfig, LaunchStats, Trace};
 
 /// Parsed command line.
 #[derive(Debug, Clone)]
@@ -34,6 +36,10 @@ pub struct CliArgs {
     pub custom_weights: Option<Vec<f64>>,
     pub breakdown: bool,
     pub quick: bool,
+    /// Print the per-phase profile table of each measured run.
+    pub profile: bool,
+    /// Export the span trace of the measured run(s) as JSONL.
+    pub trace: Option<PathBuf>,
 }
 
 /// Parse argv for a given dimensionality; returns `Err(usage)` on any
@@ -64,11 +70,22 @@ pub fn parse_args(dim: usize, argv: &[String]) -> Result<CliArgs, String> {
     let mut custom_weights = None;
     let mut breakdown = false;
     let mut quick = false;
+    let mut profile = false;
+    let mut trace = None;
     let mut i = dim + 2;
     while i < argv.len() {
         match argv[i].as_str() {
             "--breakdown" => breakdown = true,
             "--quick" => quick = true,
+            "--profile" => profile = true,
+            "--trace" => {
+                let path = argv
+                    .get(i + 1)
+                    .filter(|p| !p.starts_with("--"))
+                    .ok_or_else(|| format!("--trace needs an output path\n{}", usage(dim)))?;
+                trace = Some(PathBuf::from(path));
+                i += 1;
+            }
             "--custom" => {
                 let need = match dim {
                     1 => shape.nk(),
@@ -101,6 +118,8 @@ pub fn parse_args(dim: usize, argv: &[String]) -> Result<CliArgs, String> {
         custom_weights,
         breakdown,
         quick,
+        profile,
+        trace,
     })
 }
 
@@ -117,7 +136,7 @@ pub fn usage(dim: usize) -> String {
     format!(
         "usage: convstencil_{dim}d <shape> <{sizes}> <time_iteration_size> [options]\n\
          shapes: {shapes}\n\
-         options:\n  --help       print this help\n  --custom w.. custom stencil kernel weights\n  --breakdown  per-optimization breakdown (Fig. 6 variants)\n  --quick      cap the simulated grid (results projected to the full size)"
+         options:\n  --help       print this help\n  --custom w.. custom stencil kernel weights\n  --breakdown  per-optimization breakdown (Fig. 6 variants)\n  --quick      cap the simulated grid (results projected to the full size)\n  --profile    print the per-phase profile of each measured run\n  --trace FILE export the measured run's span trace as JSONL"
     )
 }
 
@@ -190,6 +209,8 @@ pub fn try_run_and_print(args: &CliArgs) -> Result<f64, ConvStencilError> {
         args.steps
     );
     let points: u64 = args.sizes.iter().map(|&s| s as u64).product();
+    let tracing = args.profile || args.trace.is_some();
+    let mut merged_trace = Trace::new();
     let mut last = 0.0;
     for (name, variant) in variants {
         let missing_kernel = || ConvStencilError::InvalidKernel {
@@ -206,6 +227,7 @@ pub fn try_run_and_print(args: &CliArgs) -> Result<f64, ConvStencilError> {
                 g.fill_random(42);
                 ConvStencil1D::try_new(kernel)?
                     .with_variant(variant)
+                    .with_tracing(tracing)
                     .try_run(&g, steps_sim)?
                     .1
             }
@@ -219,6 +241,7 @@ pub fn try_run_and_print(args: &CliArgs) -> Result<f64, ConvStencilError> {
                 g.fill_random(42);
                 ConvStencil2D::try_new(kernel)?
                     .with_variant(variant)
+                    .with_tracing(tracing)
                     .try_run(&g, steps_sim)?
                     .1
             }
@@ -236,6 +259,7 @@ pub fn try_run_and_print(args: &CliArgs) -> Result<f64, ConvStencilError> {
                 g.fill_random(42);
                 ConvStencil3D::try_new(kernel)?
                     .with_variant(variant)
+                    .with_tracing(tracing)
                     .try_run(&g, steps_sim)?
                     .1
             }
@@ -248,7 +272,27 @@ pub fn try_run_and_print(args: &CliArgs) -> Result<f64, ConvStencilError> {
         }
         println!("Time = {:.0}[ms]", time * 1e3);
         println!("GStencil/s = {gstencils:.6}");
+        if let Some(trace) = &report.trace {
+            if args.profile {
+                println!("\nPer-phase profile of the measured run ({name}):");
+                print!("{}", Profile::from_trace(trace).render_table());
+            }
+            merged_trace.merge(trace.clone());
+        }
         last = gstencils;
+    }
+    if let Some(path) = &args.trace {
+        convstencil_bench::atomic_write(path, &merged_trace.to_jsonl()).map_err(|e| {
+            ConvStencilError::ArtifactWrite {
+                path: path.display().to_string(),
+                reason: e.to_string(),
+            }
+        })?;
+        println!(
+            "[trace] wrote {} spans to {}",
+            merged_trace.len(),
+            path.display()
+        );
     }
     Ok(last)
 }
@@ -302,8 +346,57 @@ mod tests {
             custom_weights: None,
             breakdown: false,
             quick: true,
+            profile: false,
+            trace: None,
         };
         let g = run_and_print(&a);
         assert!(g > 0.0);
+    }
+
+    #[test]
+    fn profile_and_trace_flags_parse() {
+        let a = parse_args(
+            2,
+            &sv(&[
+                "box2d1r",
+                "64",
+                "64",
+                "3",
+                "--quick",
+                "--profile",
+                "--trace",
+                "out.jsonl",
+            ]),
+        )
+        .unwrap();
+        assert!(a.profile);
+        assert_eq!(a.trace, Some(PathBuf::from("out.jsonl")));
+        // --trace without a path is a usage error.
+        assert!(parse_args(2, &sv(&["box2d1r", "64", "64", "3", "--trace"])).is_err());
+        assert!(parse_args(2, &sv(&["box2d1r", "64", "64", "3", "--trace", "--quick"])).is_err());
+    }
+
+    #[test]
+    fn run_small_2d_with_trace_writes_valid_jsonl() {
+        let dir = std::env::temp_dir().join("convstencil_cli_trace_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let a = CliArgs {
+            shape: Shape::Box2D9P,
+            sizes: vec![128, 128],
+            steps: 3,
+            custom_weights: None,
+            breakdown: false,
+            quick: true,
+            profile: true,
+            trace: Some(path.clone()),
+        };
+        let g = try_run_and_print(&a).unwrap();
+        assert!(g > 0.0);
+        let content = std::fs::read_to_string(&path).unwrap();
+        let trace = Trace::from_jsonl(&content).unwrap();
+        assert!(!trace.is_empty());
+        assert!(trace.spans.iter().any(|s| s.counters.dmma_ops > 0));
     }
 }

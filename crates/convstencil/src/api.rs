@@ -18,13 +18,17 @@ use crate::exec2d::{try_run_2d_applications_bc, Exec2D};
 use crate::exec3d::{try_run_3d_applications_bc, Exec3D};
 use crate::variants::VariantConfig;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 use stencil_core::reference::{run1d, run2d, run3d};
 use stencil_core::{
     auto_fusion_degree, check_close, fuse1d, fuse2d, run1d_periodic, run2d_periodic,
     run3d_periodic, Boundary, Grid1D, Grid2D, Grid3D, Kernel1D, Kernel2D, Kernel3D, VerifyError,
     DEFAULT_TOL,
 };
-use tcu_sim::{CostBreakdown, CostModel, Counters, Device, DeviceConfig, FaultPlan, LaunchStats};
+use tcu_sim::{
+    CostBreakdown, CostModel, Counters, Device, DeviceConfig, FaultPlan, LaunchStats, Phase, Span,
+    Trace,
+};
 
 /// Largest kernel edge the FP64 fragment supports (n_k + 1 <= 8).
 pub const MAX_NK: usize = 7;
@@ -61,10 +65,14 @@ pub struct RunReport {
     /// True when the result was checked against the naive reference
     /// (verified execution).
     pub verified: bool,
+    /// Per-phase span timeline (device + host spans). Present only when
+    /// the runner had tracing enabled (see `with_tracing`); the span
+    /// counter deltas sum exactly to `counters`.
+    pub trace: Option<Trace>,
 }
 
 impl RunReport {
-    fn from_device(dev: &Device, points: u64, steps: u64) -> Self {
+    fn from_device(dev: &mut Device, points: u64, steps: u64) -> Self {
         let model = CostModel::new(dev.config.clone());
         let cost = model.evaluate(&dev.counters, &dev.launch_stats);
         let gstencils_per_sec =
@@ -82,8 +90,23 @@ impl RunReport {
             retries: 0,
             degraded: false,
             verified: false,
+            trace: dev.tracing().then(|| dev.take_trace()),
         }
     }
+}
+
+/// Record a host-side scope (reference verify, retry marker) in the
+/// device's trace. Counters stay zero, so traced runs keep the
+/// spans-sum-to-ledger invariant; a no-op when tracing is off.
+fn push_host_span(dev: &mut Device, phase: Phase, wall_ns: u64) {
+    let launch = dev.launch_attempts();
+    dev.push_span(Span {
+        phase,
+        launch,
+        counters: Counters::default(),
+        modeled_sec: 0.0,
+        wall_ns,
+    });
 }
 
 /// Configuration for verified execution: how the simulated result is
@@ -168,6 +191,7 @@ pub struct ConvStencil2D {
     device: DeviceConfig,
     boundary: Boundary,
     fault: Option<FaultPlan>,
+    tracing: bool,
 }
 
 impl ConvStencil2D {
@@ -211,6 +235,7 @@ impl ConvStencil2D {
             device: DeviceConfig::a100(),
             boundary: Boundary::Dirichlet,
             fault: None,
+            tracing: false,
         })
     }
 
@@ -241,6 +266,13 @@ impl ConvStencil2D {
     /// them.
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault = Some(plan);
+        self
+    }
+
+    /// Enable per-phase span tracing: every run's `RunReport` carries a
+    /// [`Trace`] whose span counter deltas sum to the run's ledger.
+    pub fn with_tracing(mut self, on: bool) -> Self {
+        self.tracing = on;
         self
     }
 
@@ -279,7 +311,7 @@ impl ConvStencil2D {
         }
         let mut dev = self.make_device();
         let current = self.try_run_on(&mut dev, grid, steps)?;
-        let report = RunReport::from_device(&dev, (m * n) as u64, steps as u64);
+        let report = RunReport::from_device(&mut dev, (m * n) as u64, steps as u64);
         Ok((current, report))
     }
 
@@ -313,32 +345,46 @@ impl ConvStencil2D {
         if m == 0 || n == 0 {
             return Err(ConvStencilError::ZeroSizedGrid { dims: vec![m, n] });
         }
+        let reference_start = Instant::now();
         let reference = self.reference_run(grid, steps);
         let want = reference.interior();
+        let reference_ns = reference_start.elapsed().as_nanos() as u64;
         let mut dev = self.make_device();
+        push_host_span(&mut dev, Phase::Verify, reference_ns);
         let mut detected = 0u64;
         let mut retries = 0u64;
         for attempt in 0..=cfg.max_retries {
             if attempt > 0 {
                 dev.advance_fault_epoch();
                 retries += 1;
+                push_host_span(&mut dev, Phase::Retry, 0);
             }
             match self.try_run_on(&mut dev, grid, steps) {
-                Ok(out) => match check_samples(&out.interior(), &want, &cfg) {
-                    Ok(()) => {
-                        let mut report = RunReport::from_device(&dev, (m * n) as u64, steps as u64);
-                        report.verified = true;
-                        report.faults_detected = detected;
-                        report.retries = retries;
-                        return Ok((out, report));
+                Ok(out) => {
+                    let check_start = Instant::now();
+                    let check = check_samples(&out.interior(), &want, &cfg);
+                    push_host_span(
+                        &mut dev,
+                        Phase::Verify,
+                        check_start.elapsed().as_nanos() as u64,
+                    );
+                    match check {
+                        Ok(()) => {
+                            let mut report =
+                                RunReport::from_device(&mut dev, (m * n) as u64, steps as u64);
+                            report.verified = true;
+                            report.faults_detected = detected;
+                            report.retries = retries;
+                            return Ok((out, report));
+                        }
+                        Err(_) => detected += 1,
                     }
-                    Err(_) => detected += 1,
-                },
+                }
                 Err(ConvStencilError::Device(_)) => detected += 1,
                 Err(other) => return Err(other),
             }
         }
-        let mut report = RunReport::from_device(&dev, (m * n) as u64, steps as u64);
+        let mut report = RunReport::from_device(&mut dev, (m * n) as u64, steps as u64);
         report.verified = true;
         report.faults_detected = detected;
         report.retries = retries;
@@ -349,6 +395,7 @@ impl ConvStencil2D {
     fn make_device(&self) -> Device {
         let mut dev = Device::new(self.device.clone());
         dev.set_fault_plan(self.fault);
+        dev.set_tracing(self.tracing);
         dev
     }
 
@@ -452,6 +499,7 @@ pub struct ConvStencil1D {
     device: DeviceConfig,
     boundary: Boundary,
     fault: Option<FaultPlan>,
+    tracing: bool,
 }
 
 impl ConvStencil1D {
@@ -493,6 +541,7 @@ impl ConvStencil1D {
             device: DeviceConfig::a100(),
             boundary: Boundary::Dirichlet,
             fault: None,
+            tracing: false,
         })
     }
 
@@ -515,6 +564,12 @@ impl ConvStencil1D {
     /// Inject deterministic faults into every device this runner creates.
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault = Some(plan);
+        self
+    }
+
+    /// Enable per-phase span tracing (see [`ConvStencil2D::with_tracing`]).
+    pub fn with_tracing(mut self, on: bool) -> Self {
+        self.tracing = on;
         self
     }
 
@@ -544,7 +599,7 @@ impl ConvStencil1D {
         }
         let mut dev = self.make_device();
         let current = self.try_run_on(&mut dev, grid, steps)?;
-        let report = RunReport::from_device(&dev, n as u64, steps as u64);
+        let report = RunReport::from_device(&mut dev, n as u64, steps as u64);
         Ok((current, report))
     }
 
@@ -574,32 +629,46 @@ impl ConvStencil1D {
         if n == 0 {
             return Err(ConvStencilError::ZeroSizedGrid { dims: vec![n] });
         }
+        let reference_start = Instant::now();
         let reference = self.reference_run(grid, steps);
         let want = reference.interior();
+        let reference_ns = reference_start.elapsed().as_nanos() as u64;
         let mut dev = self.make_device();
+        push_host_span(&mut dev, Phase::Verify, reference_ns);
         let mut detected = 0u64;
         let mut retries = 0u64;
         for attempt in 0..=cfg.max_retries {
             if attempt > 0 {
                 dev.advance_fault_epoch();
                 retries += 1;
+                push_host_span(&mut dev, Phase::Retry, 0);
             }
             match self.try_run_on(&mut dev, grid, steps) {
-                Ok(out) => match check_samples(&out.interior(), &want, &cfg) {
-                    Ok(()) => {
-                        let mut report = RunReport::from_device(&dev, n as u64, steps as u64);
-                        report.verified = true;
-                        report.faults_detected = detected;
-                        report.retries = retries;
-                        return Ok((out, report));
+                Ok(out) => {
+                    let check_start = Instant::now();
+                    let check = check_samples(&out.interior(), &want, &cfg);
+                    push_host_span(
+                        &mut dev,
+                        Phase::Verify,
+                        check_start.elapsed().as_nanos() as u64,
+                    );
+                    match check {
+                        Ok(()) => {
+                            let mut report =
+                                RunReport::from_device(&mut dev, n as u64, steps as u64);
+                            report.verified = true;
+                            report.faults_detected = detected;
+                            report.retries = retries;
+                            return Ok((out, report));
+                        }
+                        Err(_) => detected += 1,
                     }
-                    Err(_) => detected += 1,
-                },
+                }
                 Err(ConvStencilError::Device(_)) => detected += 1,
                 Err(other) => return Err(other),
             }
         }
-        let mut report = RunReport::from_device(&dev, n as u64, steps as u64);
+        let mut report = RunReport::from_device(&mut dev, n as u64, steps as u64);
         report.verified = true;
         report.faults_detected = detected;
         report.retries = retries;
@@ -610,6 +679,7 @@ impl ConvStencil1D {
     fn make_device(&self) -> Device {
         let mut dev = Device::new(self.device.clone());
         dev.set_fault_plan(self.fault);
+        dev.set_tracing(self.tracing);
         dev
     }
 
@@ -708,6 +778,7 @@ pub struct ConvStencil3D {
     device: DeviceConfig,
     boundary: Boundary,
     fault: Option<FaultPlan>,
+    tracing: bool,
 }
 
 impl ConvStencil3D {
@@ -726,6 +797,7 @@ impl ConvStencil3D {
             device: DeviceConfig::a100(),
             boundary: Boundary::Dirichlet,
             fault: None,
+            tracing: false,
         })
     }
 
@@ -751,6 +823,12 @@ impl ConvStencil3D {
         self
     }
 
+    /// Enable per-phase span tracing (see [`ConvStencil2D::with_tracing`]).
+    pub fn with_tracing(mut self, on: bool) -> Self {
+        self.tracing = on;
+        self
+    }
+
     pub fn run(&self, grid: &Grid3D, steps: usize) -> (Grid3D, RunReport) {
         self.try_run(grid, steps).unwrap_or_else(|e| panic!("{e}"))
     }
@@ -769,7 +847,7 @@ impl ConvStencil3D {
         }
         let mut dev = self.make_device();
         let out = self.try_run_on(&mut dev, grid, steps)?;
-        let report = RunReport::from_device(&dev, (d * m * n) as u64, steps as u64);
+        let report = RunReport::from_device(&mut dev, (d * m * n) as u64, steps as u64);
         Ok((out, report))
     }
 
@@ -802,32 +880,45 @@ impl ConvStencil3D {
             });
         }
         let points = (d * m * n) as u64;
+        let reference_start = Instant::now();
         let reference = self.reference_run(grid, steps);
         let want = reference.interior();
+        let reference_ns = reference_start.elapsed().as_nanos() as u64;
         let mut dev = self.make_device();
+        push_host_span(&mut dev, Phase::Verify, reference_ns);
         let mut detected = 0u64;
         let mut retries = 0u64;
         for attempt in 0..=cfg.max_retries {
             if attempt > 0 {
                 dev.advance_fault_epoch();
                 retries += 1;
+                push_host_span(&mut dev, Phase::Retry, 0);
             }
             match self.try_run_on(&mut dev, grid, steps) {
-                Ok(out) => match check_samples(&out.interior(), &want, &cfg) {
-                    Ok(()) => {
-                        let mut report = RunReport::from_device(&dev, points, steps as u64);
-                        report.verified = true;
-                        report.faults_detected = detected;
-                        report.retries = retries;
-                        return Ok((out, report));
+                Ok(out) => {
+                    let check_start = Instant::now();
+                    let check = check_samples(&out.interior(), &want, &cfg);
+                    push_host_span(
+                        &mut dev,
+                        Phase::Verify,
+                        check_start.elapsed().as_nanos() as u64,
+                    );
+                    match check {
+                        Ok(()) => {
+                            let mut report = RunReport::from_device(&mut dev, points, steps as u64);
+                            report.verified = true;
+                            report.faults_detected = detected;
+                            report.retries = retries;
+                            return Ok((out, report));
+                        }
+                        Err(_) => detected += 1,
                     }
-                    Err(_) => detected += 1,
-                },
+                }
                 Err(ConvStencilError::Device(_)) => detected += 1,
                 Err(other) => return Err(other),
             }
         }
-        let mut report = RunReport::from_device(&dev, points, steps as u64);
+        let mut report = RunReport::from_device(&mut dev, points, steps as u64);
         report.verified = true;
         report.faults_detected = detected;
         report.retries = retries;
@@ -838,6 +929,7 @@ impl ConvStencil3D {
     fn make_device(&self) -> Device {
         let mut dev = Device::new(self.device.clone());
         dev.set_fault_plan(self.fault);
+        dev.set_tracing(self.tracing);
         dev
     }
 

@@ -40,6 +40,10 @@ pub enum ConvStencilError {
     /// The explicit variant was run without (or an implicit variant with)
     /// its global scratch buffers.
     ScratchMismatch { expected: bool },
+    /// Writing a requested artifact (trace JSONL, CSV, ...) failed.
+    /// Carries the rendered I/O error (the enum is `Clone + PartialEq`,
+    /// which `std::io::Error` is not).
+    ArtifactWrite { path: String, reason: String },
     /// The simulated device rejected a launch.
     Device(DeviceError),
     /// Verified execution detected corruption that retries did not clear.
@@ -86,6 +90,9 @@ impl fmt::Display for ConvStencilError {
                 } else {
                     write!(f, "implicit variant takes no scratch")
                 }
+            }
+            ConvStencilError::ArtifactWrite { path, reason } => {
+                write!(f, "cannot write artifact {path}: {reason}")
             }
             ConvStencilError::Device(e) => write!(f, "device fault: {e}"),
             ConvStencilError::VerificationFailed { retries, source } => {

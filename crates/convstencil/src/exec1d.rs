@@ -11,7 +11,7 @@ use crate::plan::LUT_SKIP;
 use crate::variants::VariantConfig;
 use crate::weights::{WeightMatrices, FRAG_K};
 use stencil_core::Kernel1D;
-use tcu_sim::{conflict_free_pad, BlockCtx, BufferId, Device, FragAcc, FragB, INACTIVE};
+use tcu_sim::{conflict_free_pad, BlockCtx, BufferId, Device, FragAcc, FragB, Phase, INACTIVE};
 
 /// Geometry for the 1D pipeline.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -305,6 +305,7 @@ impl Exec1D {
         let num_blocks = p.ext_len.div_ceil(chunk);
         let first = p.lc - p.radius;
         dev.try_launch(num_blocks, 64, |bid, ctx| {
+            ctx.phase(Phase::LayoutTransform);
             let c0 = bid * chunk;
             let c1 = (c0 + chunk).min(p.ext_len);
             let vals = ctx.gmem_read_span(ext_in, c0, c1 - c0);
@@ -358,6 +359,7 @@ impl Exec1D {
     ) -> Result<(), ConvStencilError> {
         let p = &self.plan;
         dev.try_launch(p.blocks, self.shared_len(), |bid, ctx| {
+            ctx.phase(Phase::SmemScatter);
             match explicit {
                 Some(bufs) => self.stage_from_global(ctx, bufs, bid),
                 None => self.scatter(ctx, ext_in, bid),
@@ -473,7 +475,9 @@ impl Exec1D {
     fn compute_tcu(&self, ctx: &mut BlockCtx, ext_out: BufferId, bid: usize) {
         let p = &self.plan;
         let nk = p.nk;
+        // Weight staging is shared-memory traffic: scatter phase.
         let (wa, wb) = self.stage_weight_frags(ctx);
+        ctx.phase(Phase::Tessellation);
         let bands = p.block_groups / 8;
         let mut out_vals = vec![0.0f64; 8 * (nk + 1)];
         for band in 0..bands {
@@ -500,6 +504,7 @@ impl Exec1D {
 
     fn compute_cuda(&self, ctx: &mut BlockCtx, ext_out: BufferId, bid: usize) {
         let p = &self.plan;
+        ctx.phase(Phase::Tessellation);
         let out_width = p.block_groups * (p.nk + 1);
         let mut addrs = vec![0usize; 32];
         let mut vals = vec![0.0f64; 32];
@@ -527,6 +532,7 @@ impl Exec1D {
     }
 
     fn write_row(&self, ctx: &mut BlockCtx, ext_out: BufferId, y0: usize, vals: &[f64]) {
+        let prev = ctx.phase(Phase::Epilogue);
         let p = &self.plan;
         let mut addrs = [INACTIVE; 32];
         let mut i = 0usize;
@@ -547,6 +553,7 @@ impl Exec1D {
             }
             i += lanes;
         }
+        ctx.phase(prev);
     }
 }
 
@@ -569,6 +576,7 @@ pub fn try_halo_exchange_1d(
         });
     }
     dev.try_launch(1, 64, |_, ctx| {
+        ctx.phase(Phase::HaloExchange);
         let left = ctx.gmem_read_span(ext, lc + n - r, r);
         ctx.gmem_write_span(ext, lc - r, &left);
         let right = ctx.gmem_read_span(ext, lc, r);

@@ -26,7 +26,7 @@ use crate::plan::{Plan2D, ScatterLut, LUT_SKIP};
 use crate::variants::VariantConfig;
 use crate::weights::WeightMatrices;
 use stencil_core::Kernel2D;
-use tcu_sim::{BlockCtx, BufferId, Device, FragAcc, FragB, INACTIVE};
+use tcu_sim::{BlockCtx, BufferId, Device, FragAcc, FragB, Phase, INACTIVE};
 
 /// Precompiled 2D executor: plan + LUT + weights for one kernel/problem.
 #[derive(Debug, Clone)]
@@ -199,6 +199,7 @@ impl Exec2D {
         let num_blocks = p.ext_rows.div_ceil(rows_per_block);
         let first = p.lc - p.radius; // ext column where the conv window starts
         dev.try_launch(num_blocks, 64, |bid, ctx| {
+            ctx.phase(Phase::LayoutTransform);
             let r0 = bid * rows_per_block;
             let r1 = (r0 + rows_per_block).min(p.ext_rows);
             let mut a_addrs = [INACTIVE; 32];
@@ -260,6 +261,7 @@ impl Exec2D {
             let bg = bid % p.blocks_g;
             let rows_here = p.block_rows.min(p.m - bx * p.block_rows);
             let tile_rows = rows_here + p.nk - 1;
+            ctx.phase(Phase::SmemScatter);
             match explicit {
                 Some(bufs) => self.stage_from_global(ctx, bufs, bx, tile_rows, bg),
                 None => self.scatter(ctx, ext_in, bx, bg, tile_rows),
@@ -418,7 +420,10 @@ impl Exec2D {
         let p = &self.plan;
         let lay = &p.layout;
         let nk = p.nk;
+        // Weight staging is shared-memory traffic, so it stays in the
+        // scatter phase; the MMA loop below is the tessellation proper.
         let (wa_frags, wb_frags) = self.stage_weight_frags(ctx);
+        ctx.phase(Phase::Tessellation);
         let chunks = self.weights.krows / 4;
         let bands = p.block_groups / 8;
         let mut out_vals = vec![0.0f64; 8 * (nk + 1)];
@@ -462,6 +467,7 @@ impl Exec2D {
         let p = &self.plan;
         let lay = &p.layout;
         let nk = p.nk;
+        ctx.phase(Phase::Tessellation);
         let out_width = p.block_groups * (nk + 1);
         let mut addrs = vec![0usize; 32];
         let mut vals = vec![0.0f64; 32];
@@ -499,6 +505,7 @@ impl Exec2D {
     /// Write `vals` to output row `x`, starting at output column `y0`,
     /// masking lanes at or beyond column `n`.
     fn write_row(&self, ctx: &mut BlockCtx, ext_out: BufferId, x: usize, y0: usize, vals: &[f64]) {
+        let prev = ctx.phase(Phase::Epilogue);
         let p = &self.plan;
         let ext_row = x + p.lr;
         let mut addrs = [INACTIVE; 32];
@@ -520,6 +527,7 @@ impl Exec2D {
             }
             i += lanes;
         }
+        ctx.phase(prev);
     }
 }
 
@@ -548,6 +556,7 @@ pub fn try_halo_exchange_2d(
     // Kernel 1: column wrap for every interior row.
     let rows_per_block = 64usize;
     dev.try_launch(m.div_ceil(rows_per_block), 64, |bid, ctx| {
+        ctx.phase(Phase::HaloExchange);
         let x0 = bid * rows_per_block;
         let x1 = (x0 + rows_per_block).min(m);
         for x in x0..x1 {
@@ -561,6 +570,7 @@ pub fn try_halo_exchange_2d(
     // Kernel 2: full-row wrap for the r halo rows on each side (one block
     // per wrapped row pair).
     dev.try_launch(r, 64, |bid, ctx| {
+        ctx.phase(Phase::HaloExchange);
         let i = bid;
         // Top halo ext row i <- ext row m + i.
         let src = (m + i) * cols;

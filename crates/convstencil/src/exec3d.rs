@@ -17,7 +17,7 @@ use crate::plan::{Plan2D, ScatterLut, LUT_SKIP};
 use crate::variants::VariantConfig;
 use crate::weights::WeightMatrices;
 use stencil_core::{Grid3D, Kernel3D};
-use tcu_sim::{BlockCtx, BufferId, Device, FragAcc, FragB, INACTIVE};
+use tcu_sim::{BlockCtx, BufferId, Device, FragAcc, FragB, Phase, INACTIVE};
 
 /// How one kernel plane is computed.
 #[derive(Debug, Clone)]
@@ -212,6 +212,7 @@ impl Exec3D {
         let num_blocks = self.ext_planes() * blocks_per_plane;
         let first = p.lc - p.radius;
         dev.try_launch(num_blocks, 64, |bid, ctx| {
+            ctx.phase(Phase::LayoutTransform);
             let plane = bid / blocks_per_plane;
             let chunk = bid % blocks_per_plane;
             let r0 = chunk * rows_per_block;
@@ -396,6 +397,7 @@ impl Exec3D {
             let tile_rows = rows_here + self.nk - 1;
             let z0 = zb * self.bz;
             let planes_here = self.bz.min(self.d - z0);
+            ctx.phase(Phase::SmemScatter);
             // Stage the z-window's input planes once; every output plane
             // of the block reuses them.
             for slot in 0..planes_here + self.nk - 1 {
@@ -428,6 +430,7 @@ impl Exec3D {
                     frags.push((dz, wa, wb));
                 }
             }
+            ctx.phase(Phase::Tessellation);
             for z_local in 0..planes_here {
                 self.compute(
                     ctx,
@@ -611,6 +614,7 @@ impl Exec3D {
                     }
                 }
                 // Write back into the output plane.
+                let prev = ctx.phase(Phase::Epilogue);
                 let x = bx * p.block_rows + xr;
                 let ext_row = x + p.lr;
                 let y0 = (bg * p.block_groups + band * 8) * (nk + 1);
@@ -634,6 +638,7 @@ impl Exec3D {
                     }
                     i += lanes;
                 }
+                ctx.phase(prev);
             }
         }
     }
@@ -670,6 +675,7 @@ pub fn try_halo_exchange_3d(
     let ps = exec.plane_size();
     // Kernel 1: column wrap for every interior (plane, row).
     dev.try_launch(d, 64, |z, ctx| {
+        ctx.phase(Phase::HaloExchange);
         let base = (z + r) * ps;
         for x in 0..m {
             let row = base + (x + lr) * cols;
@@ -681,6 +687,7 @@ pub fn try_halo_exchange_3d(
     })?;
     // Kernel 2: row wrap within each interior plane.
     dev.try_launch(d, 64, |z, ctx| {
+        ctx.phase(Phase::HaloExchange);
         let base = (z + r) * ps;
         for i in 0..r {
             let vals = ctx.gmem_read_span(ext, base + (m + i) * cols, cols);
@@ -691,6 +698,7 @@ pub fn try_halo_exchange_3d(
     })?;
     // Kernel 3: full-plane wrap.
     dev.try_launch(r, 64, |i, ctx| {
+        ctx.phase(Phase::HaloExchange);
         let vals = ctx.gmem_read_span(ext, (d + i) * ps, ps);
         ctx.gmem_write_span(ext, i * ps, &vals);
         let vals = ctx.gmem_read_span(ext, (r + i) * ps, ps);

@@ -23,6 +23,7 @@ pub mod im2row;
 pub mod model;
 pub mod numerics;
 pub mod plan;
+pub mod profile;
 pub mod stencil2row;
 pub mod tessellation;
 pub mod variants;
@@ -34,5 +35,6 @@ pub use exec1d::Exec1D;
 pub use exec2d::Exec2D;
 pub use exec3d::Exec3D;
 pub use plan::{Plan2D, ScatterLut};
+pub use profile::{PhaseSummary, Profile};
 pub use variants::VariantConfig;
 pub use weights::WeightMatrices;

@@ -1,0 +1,185 @@
+//! Human-readable per-phase profiles over tcu-sim span traces.
+//!
+//! A [`Profile`] folds a [`Trace`] (see `tcu_sim::trace`) into one row per
+//! pipeline phase — layout transform, smem scatter, DMMA tessellation,
+//! epilogue, halo exchange, host verify/retry — keeping the trace's
+//! exactness invariant: the counter columns of the rows sum to the run's
+//! ledger, so `render_table`'s Total row *is* `RunReport::counters`.
+//!
+//! Modeled time per row comes from `CostModel::span_time` (Eq. 2–4 applied
+//! to the phase's counter delta). Because the cost model takes a `max`
+//! over compute and memory pipes, modeled row times are an attribution,
+//! not an exact decomposition — they need not sum to the whole-run cost.
+
+use tcu_sim::{Counters, Phase, Trace};
+
+/// Aggregate of every span of one phase.
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseSummary {
+    pub phase: Phase,
+    /// Spans folded into this row.
+    pub spans: usize,
+    /// Sum of the spans' counter deltas.
+    pub counters: Counters,
+    /// Sum of the spans' modeled seconds.
+    pub modeled_sec: f64,
+    /// Sum of the spans' host wall time.
+    pub wall_ns: u64,
+}
+
+/// Per-phase rollup of a run's trace.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// One row per phase that appeared, in [`Phase::ALL`] order.
+    pub phases: Vec<PhaseSummary>,
+    /// Sum over all spans; `total.counters` equals the run ledger.
+    pub total: PhaseSummary,
+}
+
+impl Profile {
+    /// Fold a trace into per-phase rows (empty phases are dropped).
+    pub fn from_trace(trace: &Trace) -> Self {
+        let mut rows: Vec<PhaseSummary> = Phase::ALL
+            .iter()
+            .map(|&phase| PhaseSummary {
+                phase,
+                spans: 0,
+                counters: Counters::default(),
+                modeled_sec: 0.0,
+                wall_ns: 0,
+            })
+            .collect();
+        let mut total = PhaseSummary {
+            phase: Phase::Uncategorized,
+            spans: 0,
+            counters: Counters::default(),
+            modeled_sec: 0.0,
+            wall_ns: 0,
+        };
+        for span in &trace.spans {
+            let row = &mut rows[span.phase.index()];
+            row.spans += 1;
+            row.counters += span.counters;
+            row.modeled_sec += span.modeled_sec;
+            row.wall_ns += span.wall_ns;
+            total.spans += 1;
+            total.counters += span.counters;
+            total.modeled_sec += span.modeled_sec;
+            total.wall_ns += span.wall_ns;
+        }
+        rows.retain(|r| r.spans > 0);
+        Self {
+            phases: rows,
+            total,
+        }
+    }
+
+    /// Render the rollup as an aligned text table (one row per phase plus
+    /// a Total row whose counter columns equal the run ledger).
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<18} {:>6} {:>12} {:>12} {:>12} {:>12} {:>7} {:>11} {:>11}\n",
+            "phase",
+            "spans",
+            "dmma",
+            "fma",
+            "gmem_bytes",
+            "smem_bytes",
+            "faults",
+            "modeled_ms",
+            "wall_ms"
+        ));
+        for row in &self.phases {
+            out.push_str(&Self::render_row(row.phase.name(), row));
+        }
+        out.push_str(&Self::render_row("total", &self.total));
+        out
+    }
+
+    fn render_row(label: &str, row: &PhaseSummary) -> String {
+        let c = &row.counters;
+        format!(
+            "{:<18} {:>6} {:>12} {:>12} {:>12} {:>12} {:>7} {:>11.3} {:>11.3}\n",
+            label,
+            row.spans,
+            c.dmma_ops,
+            c.cuda_fma_ops,
+            c.global_read_bytes + c.global_write_bytes,
+            c.shared_read_bytes + c.shared_write_bytes,
+            c.faults_injected(),
+            row.modeled_sec * 1e3,
+            row.wall_ns as f64 / 1e6,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcu_sim::Span;
+
+    fn span(phase: Phase, dmma: u64, modeled: f64, wall: u64) -> Span {
+        let c = Counters {
+            dmma_ops: dmma,
+            global_read_bytes: dmma * 8,
+            ..Counters::default()
+        };
+        Span {
+            phase,
+            launch: 0,
+            counters: c,
+            modeled_sec: modeled,
+            wall_ns: wall,
+        }
+    }
+
+    #[test]
+    fn rows_aggregate_per_phase_and_total_sums_everything() {
+        let mut trace = Trace::new();
+        trace.push(span(Phase::Tessellation, 10, 1e-3, 500));
+        trace.push(span(Phase::Tessellation, 5, 2e-3, 300));
+        trace.push(span(Phase::Epilogue, 0, 1e-4, 100));
+        let profile = Profile::from_trace(&trace);
+        assert_eq!(profile.phases.len(), 2);
+        let tess = &profile.phases[0];
+        assert_eq!(tess.phase, Phase::Tessellation);
+        assert_eq!(tess.spans, 2);
+        assert_eq!(tess.counters.dmma_ops, 15);
+        assert!((tess.modeled_sec - 3e-3).abs() < 1e-12);
+        assert_eq!(tess.wall_ns, 800);
+        assert_eq!(profile.total.spans, 3);
+        assert_eq!(profile.total.counters, trace.total_counters());
+        assert_eq!(profile.total.wall_ns, 900);
+    }
+
+    #[test]
+    fn rows_follow_taxonomy_order_not_arrival_order() {
+        let mut trace = Trace::new();
+        trace.push(span(Phase::Epilogue, 1, 0.0, 0));
+        trace.push(span(Phase::LayoutTransform, 2, 0.0, 0));
+        let profile = Profile::from_trace(&trace);
+        let order: Vec<Phase> = profile.phases.iter().map(|r| r.phase).collect();
+        assert_eq!(order, vec![Phase::LayoutTransform, Phase::Epilogue]);
+    }
+
+    #[test]
+    fn table_has_one_line_per_phase_plus_header_and_total() {
+        let mut trace = Trace::new();
+        trace.push(span(Phase::SmemScatter, 0, 0.0, 10));
+        trace.push(span(Phase::Verify, 0, 0.0, 20));
+        let table = Profile::from_trace(&trace).render_table();
+        assert_eq!(table.lines().count(), 4);
+        assert!(table.contains("smem_scatter"));
+        assert!(table.contains("verify"));
+        assert!(table.lines().last().unwrap().starts_with("total"));
+    }
+
+    #[test]
+    fn empty_trace_renders_total_only() {
+        let profile = Profile::from_trace(&Trace::new());
+        assert!(profile.phases.is_empty());
+        assert_eq!(profile.total.counters, Counters::default());
+        assert_eq!(profile.render_table().lines().count(), 2);
+    }
+}

@@ -180,6 +180,24 @@ impl CostModel {
         }
     }
 
+    /// Core time (Eq. 2 numerator with calibrated efficiency) for a
+    /// counter *delta*, without launch overhead or wave quantization —
+    /// both are launch-shape properties that cannot be attributed to a
+    /// slice of a launch. Used to model the cost of one trace span
+    /// (`crate::trace::Span::modeled_sec`). Because Eq. 2 takes a max over
+    /// compute/memory terms, per-span times need not sum exactly to the
+    /// whole-launch core time — they are a per-phase cost attribution,
+    /// not a decomposition of the end-to-end model.
+    pub fn span_time(&self, c: &Counters) -> f64 {
+        let (t_tcu, t_cuda_fma, t_int) = self.compute_time(c);
+        let t_compute = t_tcu + t_cuda_fma + t_int + self.latency_time(c);
+        let (t_global, t_shared) = self.memory_time(c);
+        let t_memory = t_global.max(t_shared);
+        let t_core =
+            t_compute.max(t_memory) + self.config.overlap_exposure * t_compute.min(t_memory);
+        t_core / self.config.efficiency
+    }
+
     /// Throughput in GStencils/s (Eq. 16) for `points` stencil points
     /// updated over `iters` time steps under the modelled time.
     pub fn gstencils_per_sec(

@@ -146,9 +146,13 @@ impl Counters {
         *self += *other;
     }
 
-    /// Scale every counter by `factor`, rounding to nearest. Used by the
-    /// benchmark harness to project per-point event rates measured at a
-    /// feasible simulation size up to the paper's problem sizes.
+    /// Scale every *rate-like* counter by `factor`, rounding to nearest.
+    /// Used by the benchmark harness to project per-point event rates
+    /// measured at a feasible simulation size up to the paper's problem
+    /// sizes. Fault-injection counters are **not** scaled: they count
+    /// discrete events that happened in the measured run, not rates, so a
+    /// projection must carry them through unchanged rather than fabricate
+    /// faults that never occurred.
     pub fn scaled(&self, factor: f64) -> Counters {
         let s = |v: u64| -> u64 { (v as f64 * factor).round() as u64 };
         Counters {
@@ -174,10 +178,89 @@ impl Counters {
             shared_scalar_requests: s(self.shared_scalar_requests),
             shared_read_conflicts: s(self.shared_read_conflicts),
             shared_write_conflicts: s(self.shared_write_conflicts),
-            frag_faults_injected: s(self.frag_faults_injected),
-            smem_faults_injected: s(self.smem_faults_injected),
-            launch_faults_injected: s(self.launch_faults_injected),
+            frag_faults_injected: self.frag_faults_injected,
+            smem_faults_injected: self.smem_faults_injected,
+            launch_faults_injected: self.launch_faults_injected,
         }
+    }
+
+    /// Every field as a `(name, value)` pair, in declaration order. The
+    /// names are the stable wire names used by the trace JSONL codec and
+    /// the bench `BENCH_*.json` digests.
+    pub fn field_pairs(&self) -> [(&'static str, u64); 25] {
+        [
+            ("dmma_ops", self.dmma_ops),
+            ("hmma_ops", self.hmma_ops),
+            ("cuda_fma_ops", self.cuda_fma_ops),
+            ("int_ops", self.int_ops),
+            ("int_divmod_ops", self.int_divmod_ops),
+            ("branch_ops", self.branch_ops),
+            ("global_read_bytes", self.global_read_bytes),
+            ("global_write_bytes", self.global_write_bytes),
+            ("global_read_requests", self.global_read_requests),
+            ("global_write_requests", self.global_write_requests),
+            ("global_read_sectors", self.global_read_sectors),
+            ("global_write_sectors", self.global_write_sectors),
+            ("global_read_sectors_min", self.global_read_sectors_min),
+            ("global_write_sectors_min", self.global_write_sectors_min),
+            ("uncoalesced_requests", self.uncoalesced_requests),
+            ("shared_read_bytes", self.shared_read_bytes),
+            ("shared_write_bytes", self.shared_write_bytes),
+            ("shared_read_requests", self.shared_read_requests),
+            ("shared_write_requests", self.shared_write_requests),
+            ("shared_scalar_requests", self.shared_scalar_requests),
+            ("shared_read_conflicts", self.shared_read_conflicts),
+            ("shared_write_conflicts", self.shared_write_conflicts),
+            ("frag_faults_injected", self.frag_faults_injected),
+            ("smem_faults_injected", self.smem_faults_injected),
+            ("launch_faults_injected", self.launch_faults_injected),
+        ]
+    }
+
+    /// Set a field by its [`Counters::field_pairs`] wire name. Returns
+    /// `false` (leaving the ledger untouched) for an unknown name.
+    pub fn set_field(&mut self, name: &str, value: u64) -> bool {
+        let slot = match name {
+            "dmma_ops" => &mut self.dmma_ops,
+            "hmma_ops" => &mut self.hmma_ops,
+            "cuda_fma_ops" => &mut self.cuda_fma_ops,
+            "int_ops" => &mut self.int_ops,
+            "int_divmod_ops" => &mut self.int_divmod_ops,
+            "branch_ops" => &mut self.branch_ops,
+            "global_read_bytes" => &mut self.global_read_bytes,
+            "global_write_bytes" => &mut self.global_write_bytes,
+            "global_read_requests" => &mut self.global_read_requests,
+            "global_write_requests" => &mut self.global_write_requests,
+            "global_read_sectors" => &mut self.global_read_sectors,
+            "global_write_sectors" => &mut self.global_write_sectors,
+            "global_read_sectors_min" => &mut self.global_read_sectors_min,
+            "global_write_sectors_min" => &mut self.global_write_sectors_min,
+            "uncoalesced_requests" => &mut self.uncoalesced_requests,
+            "shared_read_bytes" => &mut self.shared_read_bytes,
+            "shared_write_bytes" => &mut self.shared_write_bytes,
+            "shared_read_requests" => &mut self.shared_read_requests,
+            "shared_write_requests" => &mut self.shared_write_requests,
+            "shared_scalar_requests" => &mut self.shared_scalar_requests,
+            "shared_read_conflicts" => &mut self.shared_read_conflicts,
+            "shared_write_conflicts" => &mut self.shared_write_conflicts,
+            "frag_faults_injected" => &mut self.frag_faults_injected,
+            "smem_faults_injected" => &mut self.smem_faults_injected,
+            "launch_faults_injected" => &mut self.launch_faults_injected,
+            _ => return false,
+        };
+        *slot = value;
+        true
+    }
+
+    /// Field-wise `self - earlier`, saturating at zero. Used to attribute
+    /// per-phase deltas between two ledger snapshots.
+    pub fn saturating_sub(&self, earlier: &Counters) -> Counters {
+        let mut out = Counters::default();
+        for ((name, now), (_, before)) in self.field_pairs().into_iter().zip(earlier.field_pairs())
+        {
+            out.set_field(name, now.saturating_sub(before));
+        }
+        out
     }
 }
 
@@ -276,11 +359,55 @@ mod tests {
     }
 
     #[test]
-    fn scaled_multiplies_every_field() {
+    fn scaled_multiplies_every_rate_field() {
         let c = sample().scaled(3.0);
         assert_eq!(c.dmma_ops, 30);
         assert_eq!(c.global_read_requests, 24);
         assert_eq!(c.shared_write_conflicts, 6);
+    }
+
+    #[test]
+    fn scaled_carries_fault_counters_through_unscaled() {
+        // Fault counters record discrete events from the measured run, not
+        // per-point rates; a projection must not fabricate (or erase) them.
+        let c = Counters {
+            frag_faults_injected: 2,
+            smem_faults_injected: 1,
+            launch_faults_injected: 3,
+            ..sample()
+        };
+        for factor in [0.25, 1.0, 1000.0] {
+            let p = c.scaled(factor);
+            assert_eq!(p.frag_faults_injected, 2, "factor {factor}");
+            assert_eq!(p.smem_faults_injected, 1, "factor {factor}");
+            assert_eq!(p.launch_faults_injected, 3, "factor {factor}");
+        }
+        // Rate-like fields still scale.
+        assert_eq!(c.scaled(2.0).dmma_ops, 20);
+    }
+
+    #[test]
+    fn field_pairs_cover_every_field_and_set_field_round_trips() {
+        let c = Counters {
+            frag_faults_injected: 9,
+            ..sample()
+        };
+        let mut rebuilt = Counters::default();
+        for (name, v) in c.field_pairs() {
+            assert!(rebuilt.set_field(name, v), "unknown field {name}");
+        }
+        assert_eq!(rebuilt, c);
+        assert!(!rebuilt.set_field("not_a_counter", 1));
+    }
+
+    #[test]
+    fn saturating_sub_is_fieldwise_and_clamps() {
+        let big = sample() + sample();
+        let delta = big.saturating_sub(&sample());
+        assert_eq!(delta, sample());
+        // Subtracting a larger ledger clamps to zero, never wraps.
+        let clamped = sample().saturating_sub(&big);
+        assert_eq!(clamped, Counters::default());
     }
 
     #[test]

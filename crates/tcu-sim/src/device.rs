@@ -19,7 +19,11 @@ use crate::fault::{self, FaultPlan, FaultState};
 use crate::fragment::{dmma, hmma, FragA, FragAcc, FragB, Tile16};
 use crate::global::{BufferId, GlobalMemory, INACTIVE};
 use crate::shared::SharedMemory;
+use crate::trace::{Phase, Span, Trace};
 use rayon::prelude::*;
+use std::time::Instant;
+
+const PHASE_COUNT: usize = Phase::ALL.len();
 
 /// A contiguous run of buffered global writes (compact representation of a
 /// block's output).
@@ -35,6 +39,9 @@ struct BlockOutcome {
     counters: Counters,
     writes: Vec<WriteRun>,
     scatter_writes: Vec<(BufferId, usize, f64)>,
+    /// Per-phase counter deltas (indexed by [`Phase::index`]); populated
+    /// only when tracing is enabled.
+    phases: Option<[Counters; PHASE_COUNT]>,
 }
 
 /// The simulated device.
@@ -55,6 +62,10 @@ pub struct Device {
     /// Monotone count of `try_launch` calls, including ones that failed —
     /// the launch coordinate for fault decisions.
     launch_attempts: u64,
+    /// Whether per-phase span tracing is active (see [`crate::trace`]).
+    tracing: bool,
+    /// Accumulated spans while tracing (drained with [`Device::take_trace`]).
+    trace: Trace,
 }
 
 impl Device {
@@ -67,6 +78,8 @@ impl Device {
             fault: None,
             fault_epoch: 0,
             launch_attempts: 0,
+            tracing: false,
+            trace: Trace::new(),
         }
     }
 
@@ -103,6 +116,43 @@ impl Device {
     pub fn reset_counters(&mut self) {
         self.counters = Counters::default();
         self.launch_stats = LaunchStats::default();
+    }
+
+    // ---- Tracing ------------------------------------------------------
+
+    /// Enable or disable per-phase span tracing. While enabled, every
+    /// launch appends one [`Span`] per phase it passed through, with exact
+    /// counter attribution (see [`crate::trace`]).
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+    }
+
+    pub fn tracing(&self) -> bool {
+        self.tracing
+    }
+
+    /// Drain the accumulated trace, leaving an empty one behind.
+    pub fn take_trace(&mut self) -> Trace {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// Read-only view of the accumulated trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Append a host-side span (verify/retry scopes measured by runner
+    /// code). Ignored when tracing is off, so callers need not guard.
+    pub fn push_span(&mut self, span: Span) {
+        if self.tracing {
+            self.trace.push(span);
+        }
+    }
+
+    /// Number of `try_launch` calls so far (failed ones included) — the
+    /// launch coordinate host spans should reference.
+    pub fn launch_attempts(&self) -> u64 {
+        self.launch_attempts
     }
 
     // ---- Fault injection ----------------------------------------------
@@ -167,9 +217,24 @@ impl Device {
         }
         let attempt = self.launch_attempts;
         self.launch_attempts += 1;
+        let wall_start = self.tracing.then(Instant::now);
         if let Some(plan) = &self.fault {
             if fault::launch_fails(plan, self.fault_epoch, attempt) {
                 self.counters.launch_faults_injected += 1;
+                // With tracing on, the aborted launch still gets a span so
+                // the trace's counter sum matches the device ledger.
+                if let Some(t0) = wall_start {
+                    self.trace.push(Span {
+                        phase: Phase::LaunchFault,
+                        launch: attempt,
+                        counters: Counters {
+                            launch_faults_injected: 1,
+                            ..Counters::default()
+                        },
+                        modeled_sec: 0.0,
+                        wall_ns: t0.elapsed().as_nanos() as u64,
+                    });
+                }
                 return Err(DeviceError::InjectedLaunchFailure {
                     launch_attempt: attempt,
                 });
@@ -179,6 +244,7 @@ impl Device {
         let global = &self.global;
         let fault_plan = self.fault;
         let fault_epoch = self.fault_epoch;
+        let tracing = self.tracing;
         let outcomes: Vec<BlockOutcome> = (0..num_blocks)
             .into_par_iter()
             .map(|block_id| {
@@ -191,12 +257,30 @@ impl Device {
                     scatter_writes: Vec::new(),
                     fault: fault_plan
                         .map(|p| FaultState::new(p, fault_epoch, attempt, block_id as u64)),
+                    phase_marks: tracing.then(Vec::new),
                 };
                 kernel(block_id, &mut ctx);
+                let phases = ctx.phase_marks.take().map(|marks| {
+                    // Fold the switch log into per-phase deltas. Work
+                    // before the first explicit switch is Uncategorized;
+                    // counters are monotone, so the deltas sum exactly to
+                    // the block's final ledger.
+                    let mut per = [Counters::default(); PHASE_COUNT];
+                    let mut prev_phase = Phase::Uncategorized;
+                    let mut prev_snap = Counters::default();
+                    for (phase, snap) in marks {
+                        per[prev_phase.index()] += snap.saturating_sub(&prev_snap);
+                        prev_phase = phase;
+                        prev_snap = snap;
+                    }
+                    per[prev_phase.index()] += ctx.counters.saturating_sub(&prev_snap);
+                    per
+                });
                 BlockOutcome {
                     counters: ctx.counters,
                     writes: ctx.writes,
                     scatter_writes: ctx.scatter_writes,
+                    phases,
                 }
             })
             .collect();
@@ -216,6 +300,40 @@ impl Device {
         }
         self.launch_stats.kernel_launches += 1;
         self.launch_stats.total_blocks += num_blocks as u64;
+
+        if let Some(t0) = wall_start {
+            let mut per = [Counters::default(); PHASE_COUNT];
+            for outcome in &outcomes {
+                if let Some(phases) = &outcome.phases {
+                    for (acc, delta) in per.iter_mut().zip(phases) {
+                        *acc += *delta;
+                    }
+                }
+            }
+            let model = CostModel::new(self.config.clone());
+            let modeled: Vec<f64> = per.iter().map(|c| model.span_time(c)).collect();
+            let active: Vec<usize> = (0..PHASE_COUNT)
+                .filter(|&i| per[i] != Counters::default())
+                .collect();
+            let wall_ns = t0.elapsed().as_nanos() as u64;
+            let modeled_total: f64 = active.iter().map(|&i| modeled[i]).sum();
+            for &i in &active {
+                // Launch wall time split proportionally to modelled time
+                // (equal split when the model charges nothing).
+                let share = if modeled_total > 0.0 {
+                    (wall_ns as f64 * modeled[i] / modeled_total) as u64
+                } else {
+                    wall_ns / active.len() as u64
+                };
+                self.trace.push(Span {
+                    phase: Phase::ALL[i],
+                    launch: attempt,
+                    counters: per[i],
+                    modeled_sec: modeled[i],
+                    wall_ns: share,
+                });
+            }
+        }
         Ok(())
     }
 
@@ -250,11 +368,32 @@ pub struct BlockCtx<'a> {
     scatter_writes: Vec<(BufferId, usize, f64)>,
     /// Per-block fault stream (None when no plan is installed).
     fault: Option<FaultState>,
+    /// Phase-switch log `(new phase, ledger snapshot at switch)`; `None`
+    /// when tracing is off, so untraced runs pay no per-switch cost.
+    phase_marks: Option<Vec<(Phase, Counters)>>,
 }
 
 impl BlockCtx<'_> {
     pub fn config(&self) -> &DeviceConfig {
         self.config
+    }
+
+    /// Mark the start of an execution phase: everything this block charges
+    /// from here until the next switch is attributed to `phase`. Returns
+    /// the previously active phase so nested scopes (e.g. an epilogue
+    /// helper called from the compute loop) can restore it. A no-op
+    /// returning [`Phase::Uncategorized`] when tracing is off.
+    pub fn phase(&mut self, phase: Phase) -> Phase {
+        if let Some(marks) = &mut self.phase_marks {
+            let prev = marks
+                .last()
+                .map(|(p, _)| *p)
+                .unwrap_or(Phase::Uncategorized);
+            marks.push((phase, self.counters));
+            prev
+        } else {
+            Phase::Uncategorized
+        }
     }
 
     // ---- Global memory ------------------------------------------------
@@ -536,6 +675,77 @@ mod tests {
         assert_eq!(c1, c2);
         assert_eq!(d1, d2);
         assert_eq!(c1.cuda_fma_ops, (0..64).sum::<u64>());
+    }
+
+    #[test]
+    fn traced_launch_spans_sum_to_device_ledger() {
+        let mut dev = Device::a100();
+        dev.set_tracing(true);
+        let dst = dev.alloc(64);
+        dev.launch(2, 512, |block, ctx| {
+            // Work before the first phase switch lands in Uncategorized.
+            ctx.count_int(3);
+            ctx.phase(Phase::SmemScatter);
+            let addrs: Vec<usize> = (0..32).collect();
+            let vals = vec![1.0; 32];
+            ctx.smem_store(&addrs, &vals);
+            ctx.phase(Phase::Tessellation);
+            let a = FragA::zero();
+            let b = FragB::zero();
+            let mut acc = FragAcc::zero();
+            ctx.dmma(&a, &b, &mut acc);
+            let prev = ctx.phase(Phase::Epilogue);
+            assert_eq!(prev, Phase::Tessellation);
+            ctx.gmem_write_span(dst, block * 4, &[0.0; 4]);
+        });
+        let trace = dev.take_trace();
+        assert_eq!(trace.total_counters(), dev.counters);
+        // Each exercised phase shows up with the right attribution.
+        let by_phase = |p: Phase| -> Counters {
+            trace
+                .spans
+                .iter()
+                .filter(|s| s.phase == p)
+                .map(|s| s.counters)
+                .sum()
+        };
+        assert_eq!(by_phase(Phase::Uncategorized).int_ops, 6);
+        assert_eq!(by_phase(Phase::Tessellation).dmma_ops, 2);
+        assert!(by_phase(Phase::SmemScatter).shared_write_bytes > 0);
+        assert!(by_phase(Phase::Epilogue).global_write_bytes > 0);
+        // Spans carry a positive modelled time where the model charges one.
+        assert!(
+            trace
+                .spans
+                .iter()
+                .find(|s| s.phase == Phase::Tessellation)
+                .unwrap()
+                .modeled_sec
+                > 0.0
+        );
+    }
+
+    #[test]
+    fn untraced_launch_records_no_spans_and_phase_is_noop() {
+        let mut dev = Device::a100();
+        dev.launch(1, 16, |_, ctx| {
+            assert_eq!(ctx.phase(Phase::Tessellation), Phase::Uncategorized);
+            ctx.count_fma(1);
+        });
+        assert!(dev.trace().is_empty());
+    }
+
+    #[test]
+    fn injected_launch_failure_is_traced() {
+        let mut dev = Device::a100();
+        dev.set_tracing(true);
+        dev.set_fault_plan(Some(FaultPlan::quiet(1).with_launch_fail_rate(1.0)));
+        let err = dev.try_launch(1, 16, |_, _| {});
+        assert!(err.is_err());
+        let trace = dev.take_trace();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace.spans[0].phase, Phase::LaunchFault);
+        assert_eq!(trace.total_counters(), dev.counters);
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //! * **Performance model** ([`cost`]): the paper's Eq. 2–4 evaluated over
 //!   the ledger, extended with CUDA-core instruction classes and a
 //!   wave-quantization occupancy term (DESIGN.md §5).
+//! * **Span tracing** ([`trace`]): optional per-phase observability —
+//!   each launch decomposed into spans with exact counter attribution,
+//!   modelled span time, and host wall-clock; JSONL export.
 //! * **Device & launch** ([`device`]): kernels as closures over a
 //!   [`device::BlockCtx`]; blocks execute in parallel under rayon with
 //!   deterministic, GPU-faithful semantics (reads see pre-launch state,
@@ -39,6 +42,7 @@ pub mod fault;
 pub mod fragment;
 pub mod global;
 pub mod shared;
+pub mod trace;
 
 pub use config::{DeviceConfig, LatencyTable};
 pub use cost::{CostBreakdown, CostModel, LaunchStats};
@@ -49,3 +53,4 @@ pub use fault::FaultPlan;
 pub use fragment::{dmma, hmma, FragA, FragAcc, FragB, Tile16};
 pub use global::{BufferId, GlobalMemory, INACTIVE};
 pub use shared::{conflict_free_pad, stride_is_conflict_free, SharedMemory};
+pub use trace::{Phase, Span, Trace};
