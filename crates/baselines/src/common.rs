@@ -100,6 +100,7 @@ pub fn report_from_device(dev: &Device, points: u64, steps: u64) -> RunReport {
         degraded: false,
         verified: false,
         trace: None,
+        sanitizer: None,
     }
 }
 

@@ -2,16 +2,5 @@
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    match convstencil_cli::parse_args(2, &argv) {
-        Ok(args) => {
-            if let Err(e) = convstencil_cli::try_run_and_print(&args) {
-                eprintln!("convstencil_2d: error running {}: {e}", args.shape.name());
-                std::process::exit(1);
-            }
-        }
-        Err(msg) => {
-            eprintln!("{msg}");
-            std::process::exit(2);
-        }
-    }
+    std::process::exit(convstencil_cli::main_for(2, &argv));
 }

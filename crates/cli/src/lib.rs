@@ -20,8 +20,8 @@
 //! (this is a simulator; see DESIGN.md).
 
 use convstencil::{
-    ConvStencil1D, ConvStencil2D, ConvStencil3D, ConvStencilError, Profile, RunReport,
-    VariantConfig,
+    ConvStencil1D, ConvStencil2D, ConvStencil3D, ConvStencilError, Exec1D, Exec2D, Exec3D, Profile,
+    RunReport, VariantConfig,
 };
 use std::path::PathBuf;
 use stencil_core::{Grid1D, Grid2D, Grid3D, Kernel1D, Kernel2D, Kernel3D, Shape};
@@ -40,6 +40,15 @@ pub struct CliArgs {
     pub profile: bool,
     /// Export the span trace of the measured run(s) as JSONL.
     pub trace: Option<PathBuf>,
+    /// Run under the stencil sanitizer: static plan verification before
+    /// launch plus the dynamic shadow-memory report after.
+    pub sanitize: bool,
+    /// `check` subcommand: verify the plan statically and exit without
+    /// running (nonzero exit on rejection).
+    pub check: bool,
+    /// Hidden: corrupt one LUT entry before `check` — negative control
+    /// proving the verifier rejects a mutated plan.
+    pub mutate_lut: bool,
 }
 
 /// Parse argv for a given dimensionality; returns `Err(usage)` on any
@@ -48,7 +57,13 @@ pub fn parse_args(dim: usize, argv: &[String]) -> Result<CliArgs, String> {
     if argv.iter().any(|a| a == "--help") {
         return Err(usage(dim));
     }
-    if argv.len() < dim + 2 {
+    let (argv, check) = match argv.first().map(String::as_str) {
+        Some("check") => (&argv[1..], true),
+        _ => (argv, false),
+    };
+    // `check` verifies a plan without running it, so the step count is
+    // optional there.
+    if argv.len() < dim + 1 + usize::from(!check) {
         return Err(usage(dim));
     }
     let shape = Shape::from_cli_name(&argv[0])
@@ -66,18 +81,31 @@ pub fn parse_args(dim: usize, argv: &[String]) -> Result<CliArgs, String> {
     for a in &argv[1..1 + dim] {
         sizes.push(a.parse::<usize>().map_err(|_| usage(dim))?);
     }
-    let steps = argv[1 + dim].parse::<usize>().map_err(|_| usage(dim))?;
+    let (steps, opts_start) = if argv.len() > dim + 1 && !argv[dim + 1].starts_with("--") {
+        (
+            argv[dim + 1].parse::<usize>().map_err(|_| usage(dim))?,
+            dim + 2,
+        )
+    } else if check {
+        (1, dim + 1)
+    } else {
+        return Err(usage(dim));
+    };
     let mut custom_weights = None;
     let mut breakdown = false;
     let mut quick = false;
     let mut profile = false;
     let mut trace = None;
-    let mut i = dim + 2;
+    let mut sanitize = false;
+    let mut mutate_lut = false;
+    let mut i = opts_start;
     while i < argv.len() {
         match argv[i].as_str() {
             "--breakdown" => breakdown = true,
             "--quick" => quick = true,
             "--profile" => profile = true,
+            "--sanitize" => sanitize = true,
+            "--mutate-lut" => mutate_lut = true,
             "--trace" => {
                 let path = argv
                     .get(i + 1)
@@ -120,6 +148,9 @@ pub fn parse_args(dim: usize, argv: &[String]) -> Result<CliArgs, String> {
         quick,
         profile,
         trace,
+        sanitize,
+        check,
+        mutate_lut,
     })
 }
 
@@ -135,8 +166,12 @@ pub fn usage(dim: usize) -> String {
     };
     format!(
         "usage: convstencil_{dim}d <shape> <{sizes}> <time_iteration_size> [options]\n\
+         \x20      convstencil_{dim}d check <shape> <{sizes}> [time_iteration_size] [options]\n\
          shapes: {shapes}\n\
-         options:\n  --help       print this help\n  --custom w.. custom stencil kernel weights\n  --breakdown  per-optimization breakdown (Fig. 6 variants)\n  --quick      cap the simulated grid (results projected to the full size)\n  --profile    print the per-phase profile of each measured run\n  --trace FILE export the measured run's span trace as JSONL"
+         options:\n  --help       print this help\n  --custom w.. custom stencil kernel weights\n  --breakdown  per-optimization breakdown (Fig. 6 variants)\n  --quick      cap the simulated grid (results projected to the full size)\n  --profile    print the per-phase profile of each measured run\n  --trace FILE export the measured run's span trace as JSONL\n  --sanitize   run under the stencil sanitizer (static plan verification\n\x20              + dynamic shadow-memory checks; nonzero exit on findings)\n\
+         the check subcommand verifies the plan statically (Conflicts-Removal\n\
+         properties: LUT totality/injectivity, dirty bits in padding, weight\n\
+         band structure, conflict-free banking) and exits without running."
     )
 }
 
@@ -179,6 +214,13 @@ pub fn run_and_print(args: &CliArgs) -> f64 {
 /// the modelled GStencils/s, or a typed error for any pipeline failure
 /// (bad kernel, zero-sized grid, device fault, ...).
 pub fn try_run_and_print(args: &CliArgs) -> Result<f64, ConvStencilError> {
+    try_run_and_print_checked(args).map(|(g, _)| g)
+}
+
+/// [`try_run_and_print`] that also reports whether the sanitizer (when
+/// requested with `--sanitize`) came back clean, so binaries can exit
+/// nonzero on findings. Always `true` when the sanitizer is off.
+pub fn try_run_and_print_checked(args: &CliArgs) -> Result<(f64, bool), ConvStencilError> {
     let cfg = DeviceConfig::a100();
     let dim = args.shape.dim();
     let max_side: usize = match (dim, args.quick) {
@@ -212,6 +254,7 @@ pub fn try_run_and_print(args: &CliArgs) -> Result<f64, ConvStencilError> {
     let tracing = args.profile || args.trace.is_some();
     let mut merged_trace = Trace::new();
     let mut last = 0.0;
+    let mut sanitize_clean = true;
     for (name, variant) in variants {
         let missing_kernel = || ConvStencilError::InvalidKernel {
             reason: format!("shape {} has no {dim}D kernel", args.shape.name()),
@@ -228,6 +271,7 @@ pub fn try_run_and_print(args: &CliArgs) -> Result<f64, ConvStencilError> {
                 ConvStencil1D::try_new(kernel)?
                     .with_variant(variant)
                     .with_tracing(tracing)
+                    .with_sanitizer(args.sanitize)
                     .try_run(&g, steps_sim)?
                     .1
             }
@@ -242,6 +286,7 @@ pub fn try_run_and_print(args: &CliArgs) -> Result<f64, ConvStencilError> {
                 ConvStencil2D::try_new(kernel)?
                     .with_variant(variant)
                     .with_tracing(tracing)
+                    .with_sanitizer(args.sanitize)
                     .try_run(&g, steps_sim)?
                     .1
             }
@@ -260,6 +305,7 @@ pub fn try_run_and_print(args: &CliArgs) -> Result<f64, ConvStencilError> {
                 ConvStencil3D::try_new(kernel)?
                     .with_variant(variant)
                     .with_tracing(tracing)
+                    .with_sanitizer(args.sanitize)
                     .try_run(&g, steps_sim)?
                     .1
             }
@@ -272,6 +318,27 @@ pub fn try_run_and_print(args: &CliArgs) -> Result<f64, ConvStencilError> {
         }
         println!("Time = {:.0}[ms]", time * 1e3);
         println!("GStencil/s = {gstencils:.6}");
+        if let Some(san) = &report.sanitizer {
+            let load_replays: u64 = san.load_conflicts.iter().sum();
+            if san.is_clean() {
+                println!(
+                    "[sanitize] clean: 0 violations, {load_replays} load-phase bank \
+                     conflict replays, {} fault sites",
+                    san.fault_sites.len()
+                );
+            } else {
+                sanitize_clean = false;
+                println!(
+                    "[sanitize] {} violation(s) (init {}, mem {}, race {}, bank {}):",
+                    san.total_violations(),
+                    san.init_total,
+                    san.mem_total,
+                    san.race_total,
+                    san.bank_total
+                );
+                print!("{}", san.render());
+            }
+        }
         if let Some(trace) = &report.trace {
             if args.profile {
                 println!("\nPer-phase profile of the measured run ({name}):");
@@ -294,7 +361,120 @@ pub fn try_run_and_print(args: &CliArgs) -> Result<f64, ConvStencilError> {
             path.display()
         );
     }
-    Ok(last)
+    Ok((last, sanitize_clean))
+}
+
+/// `check` subcommand: build the plan(s) for the requested shape/size,
+/// run the static verifier, and report. Returns `Ok(true)` when every
+/// checked plan verifies, `Ok(false)` when any is rejected (binaries
+/// exit nonzero). With `--mutate-lut` one lookup-table entry is
+/// corrupted first — the negative control demonstrating rejection.
+pub fn try_run_check(args: &CliArgs) -> Result<bool, ConvStencilError> {
+    let dim = args.shape.dim();
+    let variants: Vec<(&str, VariantConfig)> = if args.breakdown {
+        VariantConfig::breakdown().to_vec()
+    } else {
+        vec![("ConvStencil", VariantConfig::conv_stencil())]
+    };
+    let missing_kernel = || ConvStencilError::InvalidKernel {
+        reason: format!("shape {} has no {dim}D kernel", args.shape.name()),
+    };
+    let mut all_ok = true;
+    for (name, variant) in variants {
+        let result = match dim {
+            1 => {
+                let kernel = match &args.custom_weights {
+                    Some(w) => Kernel1D::new(w.clone()),
+                    None => args.shape.kernel1d().ok_or_else(missing_kernel)?,
+                };
+                let mut exec = Exec1D::try_new(&kernel, args.sizes[0], variant)?;
+                if args.mutate_lut {
+                    exec.lut_mut()[0] = [1, 1];
+                }
+                exec.verify()
+            }
+            2 => {
+                let kernel = match &args.custom_weights {
+                    Some(w) => Kernel2D::new(args.shape.radius(), w.clone()),
+                    None => args.shape.kernel2d().ok_or_else(missing_kernel)?,
+                };
+                let mut exec = Exec2D::try_new(&kernel, args.sizes[0], args.sizes[1], variant)?;
+                if args.mutate_lut {
+                    exec.lut_mut().set(0, 0, [1, 1]);
+                }
+                exec.verify()
+            }
+            _ => {
+                let kernel = match &args.custom_weights {
+                    Some(w) => Kernel3D::new(args.shape.radius(), w.clone()),
+                    None => args.shape.kernel3d().ok_or_else(missing_kernel)?,
+                };
+                let mut exec = Exec3D::try_new(
+                    &kernel,
+                    args.sizes[0],
+                    args.sizes[1],
+                    args.sizes[2],
+                    variant,
+                )?;
+                if args.mutate_lut {
+                    exec.lut_mut().set(0, 0, [1, 1]);
+                }
+                exec.verify()
+            }
+        };
+        match result {
+            Ok(()) => println!(
+                "[check] {name}: plan verified (LUT total + injective, dirty bits \
+                 in padding, weights banded, banking conflict-free)"
+            ),
+            Err(e) => {
+                all_ok = false;
+                println!("[check] {name}: REJECTED: {e}");
+            }
+        }
+    }
+    Ok(all_ok)
+}
+
+/// Shared binary entry point: parse argv, dispatch the `check`
+/// subcommand vs. a run, and return the process exit code — `0` on
+/// success, `1` on a pipeline error, a rejected plan, or sanitizer
+/// findings, `2` on a usage error.
+pub fn main_for(dim: usize, argv: &[String]) -> i32 {
+    let args = match parse_args(dim, argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return 2;
+        }
+    };
+    if args.check {
+        return match try_run_check(&args) {
+            Ok(true) => 0,
+            Ok(false) => 1,
+            Err(e) => {
+                eprintln!(
+                    "convstencil_{dim}d: error checking {}: {e}",
+                    args.shape.name()
+                );
+                1
+            }
+        };
+    }
+    match try_run_and_print_checked(&args) {
+        Ok((_, clean)) if clean => 0,
+        Ok(_) => {
+            eprintln!("convstencil_{dim}d: sanitizer reported violations");
+            1
+        }
+        Err(e) => {
+            eprintln!(
+                "convstencil_{dim}d: error running {}: {e}",
+                args.shape.name()
+            );
+            1
+        }
+    }
 }
 
 #[cfg(test)]
@@ -338,6 +518,30 @@ mod tests {
     }
 
     #[test]
+    fn check_subcommand_and_sanitize_flag_parse() {
+        // Steps are optional under `check`.
+        let a = parse_args(2, &sv(&["check", "box2d1r", "64", "64"])).unwrap();
+        assert!(a.check);
+        assert_eq!(a.steps, 1);
+        let a = parse_args(2, &sv(&["check", "box2d3r", "64", "64", "--breakdown"])).unwrap();
+        assert!(a.check && a.breakdown);
+        let a = parse_args(2, &sv(&["check", "box2d1r", "64", "64", "--mutate-lut"])).unwrap();
+        assert!(a.mutate_lut);
+        let a = parse_args(2, &sv(&["box2d1r", "64", "64", "2", "--sanitize"])).unwrap();
+        assert!(a.sanitize && !a.check);
+        // A run (no `check`) still requires the step count.
+        assert!(parse_args(2, &sv(&["box2d1r", "64", "64", "--sanitize"])).is_err());
+    }
+
+    #[test]
+    fn check_accepts_and_rejects_plans() {
+        let good = parse_args(2, &sv(&["check", "box2d1r", "128", "128"])).unwrap();
+        assert!(try_run_check(&good).unwrap());
+        let bad = parse_args(2, &sv(&["check", "box2d1r", "128", "128", "--mutate-lut"])).unwrap();
+        assert!(!try_run_check(&bad).unwrap());
+    }
+
+    #[test]
     fn run_small_2d() {
         let a = CliArgs {
             shape: Shape::Box2D9P,
@@ -348,6 +552,9 @@ mod tests {
             quick: true,
             profile: false,
             trace: None,
+            sanitize: false,
+            check: false,
+            mutate_lut: false,
         };
         let g = run_and_print(&a);
         assert!(g > 0.0);
@@ -391,6 +598,9 @@ mod tests {
             quick: true,
             profile: true,
             trace: Some(path.clone()),
+            sanitize: false,
+            check: false,
+            mutate_lut: false,
         };
         let g = try_run_and_print(&a).unwrap();
         assert!(g > 0.0);

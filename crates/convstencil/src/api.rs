@@ -26,8 +26,8 @@ use stencil_core::{
     DEFAULT_TOL,
 };
 use tcu_sim::{
-    CostBreakdown, CostModel, Counters, Device, DeviceConfig, FaultPlan, LaunchStats, Phase, Span,
-    Trace,
+    CostBreakdown, CostModel, Counters, Device, DeviceConfig, FaultPlan, LaunchStats, Phase,
+    SanitizerReport, Span, Trace,
 };
 
 /// Largest kernel edge the FP64 fragment supports (n_k + 1 <= 8).
@@ -69,6 +69,11 @@ pub struct RunReport {
     /// the runner had tracing enabled (see `with_tracing`); the span
     /// counter deltas sum exactly to `counters`.
     pub trace: Option<Trace>,
+    /// Dynamic sanitizer findings (initcheck/memcheck/racecheck plus the
+    /// per-phase bank-conflict histogram), merged over every launch of
+    /// the run. Present only when the runner had the sanitizer enabled
+    /// (see `with_sanitizer`).
+    pub sanitizer: Option<SanitizerReport>,
 }
 
 impl RunReport {
@@ -91,6 +96,7 @@ impl RunReport {
             degraded: false,
             verified: false,
             trace: dev.tracing().then(|| dev.take_trace()),
+            sanitizer: dev.sanitizing().then(|| dev.take_sanitizer_report()),
         }
     }
 }
@@ -107,6 +113,19 @@ fn push_host_span(dev: &mut Device, phase: Phase, wall_ns: u64) {
         modeled_sec: 0.0,
         wall_ns,
     });
+}
+
+/// Run the static plan verifier under a traced host `Verify` span (a
+/// plain call when tracing is off). Rejections surface as
+/// [`ConvStencilError::PlanInvalid`] before any launch.
+fn verify_statically(
+    dev: &mut Device,
+    check: impl FnOnce() -> Result<(), ConvStencilError>,
+) -> Result<(), ConvStencilError> {
+    let start = Instant::now();
+    let res = check();
+    push_host_span(dev, Phase::Verify, start.elapsed().as_nanos() as u64);
+    res
 }
 
 /// Configuration for verified execution: how the simulated result is
@@ -192,6 +211,7 @@ pub struct ConvStencil2D {
     boundary: Boundary,
     fault: Option<FaultPlan>,
     tracing: bool,
+    sanitize: bool,
 }
 
 impl ConvStencil2D {
@@ -236,6 +256,7 @@ impl ConvStencil2D {
             boundary: Boundary::Dirichlet,
             fault: None,
             tracing: false,
+            sanitize: false,
         })
     }
 
@@ -273,6 +294,16 @@ impl ConvStencil2D {
     /// [`Trace`] whose span counter deltas sum to the run's ledger.
     pub fn with_tracing(mut self, on: bool) -> Self {
         self.tracing = on;
+        self
+    }
+
+    /// Enable the stencil sanitizer: every plan is proved correct by the
+    /// static verifier before launch ([`ConvStencilError::PlanInvalid`]
+    /// on rejection) and every run's `RunReport` carries a
+    /// [`SanitizerReport`] with the dynamic shadow-memory findings. Off
+    /// by default — the default path allocates no shadow state.
+    pub fn with_sanitizer(mut self, on: bool) -> Self {
+        self.sanitize = on;
         self
     }
 
@@ -396,6 +427,7 @@ impl ConvStencil2D {
         let mut dev = Device::new(self.device.clone());
         dev.set_fault_plan(self.fault);
         dev.set_tracing(self.tracing);
+        dev.set_sanitizer(self.sanitize);
         dev
     }
 
@@ -476,6 +508,9 @@ impl ConvStencil2D {
         apps: usize,
     ) -> Result<Grid2D, ConvStencilError> {
         let exec = Exec2D::try_new(kernel, grid.rows(), grid.cols(), self.variant)?;
+        if self.sanitize {
+            verify_statically(dev, || exec.verify())?;
+        }
         let work = if grid.halo() >= kernel.radius() {
             grid.clone()
         } else {
@@ -500,6 +535,7 @@ pub struct ConvStencil1D {
     boundary: Boundary,
     fault: Option<FaultPlan>,
     tracing: bool,
+    sanitize: bool,
 }
 
 impl ConvStencil1D {
@@ -542,6 +578,7 @@ impl ConvStencil1D {
             boundary: Boundary::Dirichlet,
             fault: None,
             tracing: false,
+            sanitize: false,
         })
     }
 
@@ -570,6 +607,13 @@ impl ConvStencil1D {
     /// Enable per-phase span tracing (see [`ConvStencil2D::with_tracing`]).
     pub fn with_tracing(mut self, on: bool) -> Self {
         self.tracing = on;
+        self
+    }
+
+    /// Enable the stencil sanitizer (see
+    /// [`ConvStencil2D::with_sanitizer`]).
+    pub fn with_sanitizer(mut self, on: bool) -> Self {
+        self.sanitize = on;
         self
     }
 
@@ -680,6 +724,7 @@ impl ConvStencil1D {
         let mut dev = Device::new(self.device.clone());
         dev.set_fault_plan(self.fault);
         dev.set_tracing(self.tracing);
+        dev.set_sanitizer(self.sanitize);
         dev
     }
 
@@ -755,6 +800,9 @@ impl ConvStencil1D {
         apps: usize,
     ) -> Result<Grid1D, ConvStencilError> {
         let exec = Exec1D::try_new(kernel, grid.len(), self.variant)?;
+        if self.sanitize {
+            verify_statically(dev, || exec.verify())?;
+        }
         let work = if grid.halo() >= kernel.radius() {
             grid.clone()
         } else {
@@ -779,6 +827,7 @@ pub struct ConvStencil3D {
     boundary: Boundary,
     fault: Option<FaultPlan>,
     tracing: bool,
+    sanitize: bool,
 }
 
 impl ConvStencil3D {
@@ -798,6 +847,7 @@ impl ConvStencil3D {
             boundary: Boundary::Dirichlet,
             fault: None,
             tracing: false,
+            sanitize: false,
         })
     }
 
@@ -826,6 +876,13 @@ impl ConvStencil3D {
     /// Enable per-phase span tracing (see [`ConvStencil2D::with_tracing`]).
     pub fn with_tracing(mut self, on: bool) -> Self {
         self.tracing = on;
+        self
+    }
+
+    /// Enable the stencil sanitizer (see
+    /// [`ConvStencil2D::with_sanitizer`]).
+    pub fn with_sanitizer(mut self, on: bool) -> Self {
+        self.sanitize = on;
         self
     }
 
@@ -930,6 +987,7 @@ impl ConvStencil3D {
         let mut dev = Device::new(self.device.clone());
         dev.set_fault_plan(self.fault);
         dev.set_tracing(self.tracing);
+        dev.set_sanitizer(self.sanitize);
         dev
     }
 
@@ -941,6 +999,9 @@ impl ConvStencil3D {
     ) -> Result<Grid3D, ConvStencilError> {
         let (d, m, n) = (grid.depth(), grid.rows(), grid.cols());
         let exec = Exec3D::try_new(&self.kernel, d, m, n, self.variant)?;
+        if self.sanitize {
+            verify_statically(dev, || exec.verify())?;
+        }
         let ext0 = exec.try_build_ext(grid)?;
         let ext = try_run_3d_applications_bc(dev, &exec, &ext0, steps, self.boundary)?;
         let mut out = grid.clone();

@@ -37,6 +37,10 @@ pub enum ConvStencilError {
     InteriorTooSmall { interior: usize, radius: usize },
     /// An internal plan invariant failed validation.
     PlanInvariant { reason: String },
+    /// The static plan verifier rejected a plan before launch (lookup
+    /// table not total/injective, weight matrices with the wrong zero
+    /// structure, conflicting bank assignments, ...).
+    PlanInvalid { reason: String },
     /// The explicit variant was run without (or an implicit variant with)
     /// its global scratch buffers.
     ScratchMismatch { expected: bool },
@@ -83,6 +87,9 @@ impl fmt::Display for ConvStencilError {
             ),
             ConvStencilError::PlanInvariant { reason } => {
                 write!(f, "plan invariant violated: {reason}")
+            }
+            ConvStencilError::PlanInvalid { reason } => {
+                write!(f, "plan rejected by static verifier: {reason}")
             }
             ConvStencilError::ScratchMismatch { expected } => {
                 if *expected {

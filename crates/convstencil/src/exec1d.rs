@@ -9,6 +9,7 @@
 use crate::error::ConvStencilError;
 use crate::plan::LUT_SKIP;
 use crate::variants::VariantConfig;
+use crate::verify_plan;
 use crate::weights::{WeightMatrices, FRAG_K};
 use stencil_core::Kernel1D;
 use tcu_sim::{conflict_free_pad, BlockCtx, BufferId, Device, FragAcc, FragB, Phase, INACTIVE};
@@ -252,6 +253,40 @@ impl Exec1D {
         self.plan.shared_total
     }
 
+    /// Read access to the scatter lookup table.
+    pub fn lut(&self) -> &[[u32; 2]] {
+        &self.lut
+    }
+
+    /// Mutable access to the scatter lookup table — diagnostic hook for
+    /// the static verifier's negative controls (`check --mutate-lut`,
+    /// mutation property tests). Kernels never call this.
+    pub fn lut_mut(&mut self) -> &mut Vec<[u32; 2]> {
+        &mut self.lut
+    }
+
+    /// Run the static plan verifier over this executor's plan, lookup
+    /// table, and weight matrices (see [`crate::verify_plan`]).
+    pub fn verify(&self) -> Result<(), ConvStencilError> {
+        verify_plan::verify_plan_1d(&self.plan, self.variant)?;
+        verify_plan::verify_lut_1d(&self.plan, &self.lut, self.variant)?;
+        verify_plan::verify_weights(&self.weights)
+    }
+
+    /// Declare the padding columns and layout tail exempt from initcheck
+    /// (fragment k-chunk overreads and dirty-bits duplicate stores
+    /// legitimately touch them). No-op when the sanitizer is off.
+    fn declare_exempt(&self, ctx: &mut BlockCtx) {
+        let p = &self.plan;
+        for off in [p.a_off, p.b_off] {
+            for g in 0..p.block_groups {
+                ctx.sanitize_exempt(off + g * p.stride + p.raw_cols, p.pad);
+            }
+            let staged = p.block_groups * p.stride;
+            ctx.sanitize_exempt(off + staged, p.b_off - p.a_off - staged);
+        }
+    }
+
     /// One application: read `ext_in`, write interior of `ext_out`.
     ///
     /// The explicit variant (I) materializes the stencil2row matrices in
@@ -374,6 +409,7 @@ impl Exec1D {
     }
 
     fn scatter(&self, ctx: &mut BlockCtx, ext_in: BufferId, bid: usize) {
+        self.declare_exempt(ctx);
         let p = &self.plan;
         let read0 = p.read_col0(bid);
         let mut gaddrs = [INACTIVE; 32];
@@ -422,6 +458,7 @@ impl Exec1D {
     }
 
     fn stage_from_global(&self, ctx: &mut BlockCtx, bufs: (BufferId, BufferId), bid: usize) {
+        self.declare_exempt(ctx);
         let p = &self.plan;
         let nk = p.nk;
         let g0 = bid * p.block_groups;

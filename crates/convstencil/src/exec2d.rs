@@ -24,6 +24,7 @@
 use crate::error::ConvStencilError;
 use crate::plan::{Plan2D, ScatterLut, LUT_SKIP};
 use crate::variants::VariantConfig;
+use crate::verify_plan;
 use crate::weights::WeightMatrices;
 use stencil_core::Kernel2D;
 use tcu_sim::{BlockCtx, BufferId, Device, FragAcc, FragB, Phase, INACTIVE};
@@ -128,6 +129,43 @@ impl Exec2D {
     /// Shared-memory f64 elements one block needs.
     pub fn shared_len(&self) -> usize {
         self.plan.layout.total
+    }
+
+    /// Read access to the scatter lookup table.
+    pub fn lut(&self) -> &ScatterLut {
+        &self.lut
+    }
+
+    /// Mutable access to the scatter lookup table — diagnostic hook for
+    /// the static verifier's negative controls (`check --mutate-lut`,
+    /// mutation property tests). Kernels never call this.
+    pub fn lut_mut(&mut self) -> &mut ScatterLut {
+        &mut self.lut
+    }
+
+    /// Run the static plan verifier over this executor's layout, lookup
+    /// table, and weight matrices (see [`crate::verify_plan`]).
+    pub fn verify(&self) -> Result<(), ConvStencilError> {
+        verify_plan::verify_layout_2d(&self.plan, self.variant)?;
+        verify_plan::verify_lut_2d(&self.plan, &self.lut, self.variant)?;
+        verify_plan::verify_weights(&self.weights)
+    }
+
+    /// Declare the regions initcheck must not flag: per-group-row padding
+    /// columns past the rows this block actually stages (fragment k-chunk
+    /// overreads legitimately touch them, and dirty-bits slots absorb
+    /// same-phase duplicate stores there) plus the layout tail. No-op
+    /// when the sanitizer is off.
+    fn declare_exempt(&self, ctx: &mut BlockCtx, tile_rows: usize) {
+        let lay = &self.plan.layout;
+        let used = self.plan.nk * tile_rows;
+        for off in [lay.a_off, lay.b_off] {
+            for g in 0..lay.tile_rows {
+                ctx.sanitize_exempt(off + g * lay.stride + used, lay.stride - used);
+            }
+            let staged = lay.tile_rows * lay.stride;
+            ctx.sanitize_exempt(off + staged, lay.b_off - lay.a_off - staged);
+        }
     }
 
     /// Allocate the explicit-variant scratch matrices (whole-problem
@@ -285,6 +323,7 @@ impl Exec2D {
         bg: usize,
         tile_rows: usize,
     ) {
+        self.declare_exempt(ctx, tile_rows);
         let p = &self.plan;
         let read0 = p.read_col0(bg);
         let lut_mode = self.variant.dirty_bits_lut;
@@ -354,6 +393,7 @@ impl Exec2D {
         tile_rows: usize,
         bg: usize,
     ) {
+        self.declare_exempt(ctx, tile_rows);
         let p = &self.plan;
         let lay = &p.layout;
         let (rows_a, rows_b, cols) = self.explicit_dims();

@@ -15,6 +15,7 @@
 use crate::error::ConvStencilError;
 use crate::plan::{Plan2D, ScatterLut, LUT_SKIP};
 use crate::variants::VariantConfig;
+use crate::verify_plan;
 use crate::weights::WeightMatrices;
 use stencil_core::{Grid3D, Kernel3D};
 use tcu_sim::{BlockCtx, BufferId, Device, FragAcc, FragB, Phase, INACTIVE};
@@ -180,6 +181,48 @@ impl Exec3D {
         self.shared_total
     }
 
+    /// Read access to the shared per-plane scatter lookup table.
+    pub fn lut(&self) -> &ScatterLut {
+        &self.lut
+    }
+
+    /// Mutable access to the scatter lookup table — diagnostic hook for
+    /// the static verifier's negative controls (`check --mutate-lut`,
+    /// mutation property tests). Kernels never call this.
+    pub fn lut_mut(&mut self) -> &mut ScatterLut {
+        &mut self.lut
+    }
+
+    /// Run the static plan verifier over the plane plan, the shared
+    /// scatter lookup table, and every MMA plane's weight matrices (see
+    /// [`crate::verify_plan`]).
+    pub fn verify(&self) -> Result<(), ConvStencilError> {
+        verify_plan::verify_layout_2d(&self.plane_plan, self.variant)?;
+        verify_plan::verify_lut_2d(&self.plane_plan, &self.lut, self.variant)?;
+        for p in &self.planes {
+            if let PlaneKind::Mma(w) = p {
+                verify_plan::verify_weights(w)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Declare one plane slot's padding columns and layout tail exempt
+    /// from initcheck (fragment k-chunk overreads and dirty-bits
+    /// duplicate stores legitimately touch them). No-op when the
+    /// sanitizer is off.
+    fn declare_plane_exempt(&self, ctx: &mut BlockCtx, base_off: usize, tile_rows: usize) {
+        let lay = &self.plane_plan.layout;
+        let used = self.nk * tile_rows;
+        for off in [base_off + lay.a_off, base_off + lay.b_off] {
+            for g in 0..lay.tile_rows {
+                ctx.sanitize_exempt(off + g * lay.stride + used, lay.stride - used);
+            }
+            let staged = lay.tile_rows * lay.stride;
+            ctx.sanitize_exempt(off + staged, lay.b_off - lay.a_off - staged);
+        }
+    }
+
     /// Allocate variant-I scratch: per-plane stencil2row matrices in
     /// global memory.
     pub fn alloc_explicit(&self, dev: &mut Device) -> ExplicitBuffers3D {
@@ -269,6 +312,7 @@ impl Exec3D {
         bg: usize,
         tile_rows: usize,
     ) {
+        self.declare_plane_exempt(ctx, base_off, tile_rows);
         let p = &self.plane_plan;
         let lay = &p.layout;
         let sec = plane * bufs.rows * bufs.cols;
@@ -459,6 +503,7 @@ impl Exec3D {
         bg: usize,
         tile_rows: usize,
     ) {
+        self.declare_plane_exempt(ctx, base_off, tile_rows);
         let p = &self.plane_plan;
         let read0 = p.read_col0(bg);
         let mut gaddrs = [INACTIVE; 32];

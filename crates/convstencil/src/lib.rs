@@ -9,6 +9,10 @@
 //! * [`model`] — the closed-form analysis (Eq. 7–15, Table 3).
 //! * [`numerics`] — FP64 accumulation-order / FP16-precision study (an
 //!   extension quantifying the paper's FP64 motivation).
+//! * [`verify_plan`] — static plan verifier proving the §3.4
+//!   Conflicts-Removal properties (LUT totality/injectivity, dirty bits
+//!   in padding, weight zero structure, conflict-free banking) before a
+//!   plan is allowed to launch.
 
 // Simulated warp code addresses lanes by index across several parallel
 // arrays (addrs/vals/sums); iterator zips would obscure the lane model.
@@ -27,6 +31,7 @@ pub mod profile;
 pub mod stencil2row;
 pub mod tessellation;
 pub mod variants;
+pub mod verify_plan;
 pub mod weights;
 
 pub use api::{ConvStencil1D, ConvStencil2D, ConvStencil3D, RunReport, VerifyConfig, MAX_NK};
@@ -37,4 +42,7 @@ pub use exec3d::Exec3D;
 pub use plan::{Plan2D, ScatterLut};
 pub use profile::{PhaseSummary, Profile};
 pub use variants::VariantConfig;
+pub use verify_plan::{
+    verify_layout_2d, verify_lut_1d, verify_lut_2d, verify_plan_1d, verify_weights,
+};
 pub use weights::WeightMatrices;

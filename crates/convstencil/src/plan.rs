@@ -404,6 +404,15 @@ impl ScatterLut {
         self.entries[t * self.span_aligned + i]
     }
 
+    /// Overwrite the entry for tile row `t`, lane `i`.
+    ///
+    /// Diagnostic hook for the static verifier's negative controls (the
+    /// `check --mutate-lut` CLI path and the mutation property tests);
+    /// kernels never call this.
+    pub fn set(&mut self, t: usize, i: usize, entry: [u32; 2]) {
+        self.entries[t * self.span_aligned + i] = entry;
+    }
+
     pub fn len(&self) -> usize {
         self.entries.len()
     }

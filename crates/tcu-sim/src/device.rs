@@ -18,6 +18,7 @@ use crate::error::DeviceError;
 use crate::fault::{self, FaultPlan, FaultState};
 use crate::fragment::{dmma, hmma, FragA, FragAcc, FragB, Tile16};
 use crate::global::{BufferId, GlobalMemory, INACTIVE};
+use crate::sanitize::{SanitizerReport, ShadowState};
 use crate::shared::SharedMemory;
 use crate::trace::{Phase, Span, Trace};
 use rayon::prelude::*;
@@ -42,6 +43,8 @@ struct BlockOutcome {
     /// Per-phase counter deltas (indexed by [`Phase::index`]); populated
     /// only when tracing is enabled.
     phases: Option<[Counters; PHASE_COUNT]>,
+    /// Sanitizer findings; populated only when sanitizing is enabled.
+    sanitizer: Option<SanitizerReport>,
 }
 
 /// The simulated device.
@@ -66,6 +69,12 @@ pub struct Device {
     tracing: bool,
     /// Accumulated spans while tracing (drained with [`Device::take_trace`]).
     trace: Trace,
+    /// Whether the dynamic sanitizer is active (see [`crate::sanitize`]).
+    /// Off by default: no shadow memory is allocated and accesses pay one
+    /// branch on a `None`.
+    sanitize: bool,
+    /// Accumulated sanitizer findings while sanitizing.
+    sanitizer: SanitizerReport,
 }
 
 impl Device {
@@ -80,6 +89,8 @@ impl Device {
             launch_attempts: 0,
             tracing: false,
             trace: Trace::new(),
+            sanitize: false,
+            sanitizer: SanitizerReport::default(),
         }
     }
 
@@ -153,6 +164,37 @@ impl Device {
     /// launch coordinate host spans should reference.
     pub fn launch_attempts(&self) -> u64 {
         self.launch_attempts
+    }
+
+    // ---- Sanitizer ----------------------------------------------------
+
+    /// Enable or disable the dynamic memory sanitizer. While enabled,
+    /// every block of every launch shadows its shared memory and reports
+    /// initcheck/memcheck/racecheck/bankcheck findings (see
+    /// [`crate::sanitize`]). Disabled by default with zero overhead: no
+    /// shadow allocation happens on the default path.
+    pub fn set_sanitizer(&mut self, on: bool) {
+        self.sanitize = on;
+    }
+
+    /// Builder-style [`Device::set_sanitizer`].
+    pub fn with_sanitizer(mut self, on: bool) -> Self {
+        self.sanitize = on;
+        self
+    }
+
+    pub fn sanitizing(&self) -> bool {
+        self.sanitize
+    }
+
+    /// Read-only view of the accumulated sanitizer findings.
+    pub fn sanitizer_report(&self) -> &SanitizerReport {
+        &self.sanitizer
+    }
+
+    /// Drain the accumulated sanitizer findings, leaving an empty report.
+    pub fn take_sanitizer_report(&mut self) -> SanitizerReport {
+        std::mem::take(&mut self.sanitizer)
     }
 
     // ---- Fault injection ----------------------------------------------
@@ -245,7 +287,8 @@ impl Device {
         let fault_plan = self.fault;
         let fault_epoch = self.fault_epoch;
         let tracing = self.tracing;
-        let outcomes: Vec<BlockOutcome> = (0..num_blocks)
+        let sanitize = self.sanitize;
+        let mut outcomes: Vec<BlockOutcome> = (0..num_blocks)
             .into_par_iter()
             .map(|block_id| {
                 let mut ctx = BlockCtx {
@@ -258,6 +301,7 @@ impl Device {
                     fault: fault_plan
                         .map(|p| FaultState::new(p, fault_epoch, attempt, block_id as u64)),
                     phase_marks: tracing.then(Vec::new),
+                    shadow: sanitize.then(|| ShadowState::new(shared_len, attempt, block_id)),
                 };
                 kernel(block_id, &mut ctx);
                 let phases = ctx.phase_marks.take().map(|marks| {
@@ -281,11 +325,12 @@ impl Device {
                     writes: ctx.writes,
                     scatter_writes: ctx.scatter_writes,
                     phases,
+                    sanitizer: ctx.shadow.take().map(ShadowState::into_report),
                 }
             })
             .collect();
 
-        for outcome in &outcomes {
+        for outcome in &mut outcomes {
             self.counters += outcome.counters;
             for run in &outcome.writes {
                 self.global.apply_writes(
@@ -297,6 +342,9 @@ impl Device {
                 );
             }
             self.global.apply_writes(&outcome.scatter_writes);
+            if let Some(report) = outcome.sanitizer.take() {
+                self.sanitizer.merge(report);
+            }
         }
         self.launch_stats.kernel_launches += 1;
         self.launch_stats.total_blocks += num_blocks as u64;
@@ -371,6 +419,9 @@ pub struct BlockCtx<'a> {
     /// Phase-switch log `(new phase, ledger snapshot at switch)`; `None`
     /// when tracing is off, so untraced runs pay no per-switch cost.
     phase_marks: Option<Vec<(Phase, Counters)>>,
+    /// Sanitizer shadow of this block's shared memory; `None` when
+    /// sanitizing is off, so the default path allocates nothing.
+    shadow: Option<ShadowState>,
 }
 
 impl BlockCtx<'_> {
@@ -384,15 +435,32 @@ impl BlockCtx<'_> {
     /// helper called from the compute loop) can restore it. A no-op
     /// returning [`Phase::Uncategorized`] when tracing is off.
     pub fn phase(&mut self, phase: Phase) -> Phase {
+        let mut prev = Phase::Uncategorized;
         if let Some(marks) = &mut self.phase_marks {
-            let prev = marks
+            prev = marks
                 .last()
                 .map(|(p, _)| *p)
                 .unwrap_or(Phase::Uncategorized);
             marks.push((phase, self.counters));
-            prev
-        } else {
-            Phase::Uncategorized
+        }
+        // The sanitizer tracks the active phase too (it localizes findings
+        // even when tracing is off).
+        if let Some(shadow) = &mut self.shadow {
+            if self.phase_marks.is_none() {
+                prev = shadow.phase();
+            }
+            shadow.set_phase(phase);
+        }
+        prev
+    }
+
+    /// Declare a shared-memory range as legitimately read-before-write for
+    /// the sanitizer's initcheck/racecheck (ConvStencil's dirty-bits
+    /// padding slots and fragment over-read tails). A no-op when
+    /// sanitizing is off.
+    pub fn sanitize_exempt(&mut self, start: usize, len: usize) {
+        if let Some(shadow) = &mut self.shadow {
+            shadow.exempt_range(start, len);
         }
     }
 
@@ -402,19 +470,45 @@ impl BlockCtx<'_> {
     /// lane). Fills `out` (0.0 for inactive lanes) and accounts
     /// coalescing.
     pub fn gmem_read_warp(&mut self, buf: BufferId, addrs: &[usize], out: &mut [f64]) {
-        self.global.read_warp(
-            &mut self.counters,
-            buf,
-            addrs,
-            self.config.f64_per_sector(),
-            out,
-        );
+        let clean = match &mut self.shadow {
+            Some(shadow) => shadow.check_global(self.global.buffer_len(buf), addrs, true),
+            None => true,
+        };
+        if clean {
+            self.global.read_warp(
+                &mut self.counters,
+                buf,
+                addrs,
+                self.config.f64_per_sector(),
+                out,
+            );
+        } else {
+            // Mask the offending lanes (reported above) so the simulation
+            // can continue past the defect; they read as 0.0.
+            let len = self.global.buffer_len(buf);
+            let fixed: Vec<usize> = addrs
+                .iter()
+                .map(|&a| if a < len { a } else { INACTIVE })
+                .collect();
+            self.global.read_warp(
+                &mut self.counters,
+                buf,
+                &fixed,
+                self.config.f64_per_sector(),
+                out,
+            );
+        }
     }
 
     /// Read a contiguous span `[start, start+len)` with fully-coalesced
     /// warp requests of 32 lanes. Returns the values.
     pub fn gmem_read_span(&mut self, buf: BufferId, start: usize, len: usize) -> Vec<f64> {
         let mut out = vec![0.0; len];
+        let safe_len = match &mut self.shadow {
+            Some(shadow) => shadow.check_global_span(self.global.buffer_len(buf), start, len, true),
+            None => len,
+        };
+        let len = safe_len;
         let mut addrs = [INACTIVE; 32];
         let mut lane_out = [0.0f64; 32];
         let mut i = 0;
@@ -440,6 +534,23 @@ impl BlockCtx<'_> {
     /// Values retire when the launch completes.
     pub fn gmem_write_warp(&mut self, buf: BufferId, addrs: &[usize], vals: &[f64]) {
         assert_eq!(addrs.len(), vals.len());
+        let clean = match &mut self.shadow {
+            Some(shadow) => shadow.check_global(self.global.buffer_len(buf), addrs, false),
+            None => true,
+        };
+        let masked;
+        let addrs = if clean {
+            addrs
+        } else {
+            // Drop the offending lanes (reported above); the write would
+            // otherwise corrupt memory when it retires.
+            let len = self.global.buffer_len(buf);
+            masked = addrs
+                .iter()
+                .map(|&a| if a < len { a } else { INACTIVE })
+                .collect::<Vec<usize>>();
+            &masked
+        };
         self.global
             .account_write(&mut self.counters, addrs, self.config.f64_per_sector());
         // Compact consecutive addresses into runs; lone elements go to the
@@ -470,6 +581,13 @@ impl BlockCtx<'_> {
 
     /// Write a contiguous span with fully-coalesced warp requests.
     pub fn gmem_write_span(&mut self, buf: BufferId, start: usize, vals: &[f64]) {
+        let safe_len = match &mut self.shadow {
+            Some(shadow) => {
+                shadow.check_global_span(self.global.buffer_len(buf), start, vals.len(), false)
+            }
+            None => vals.len(),
+        };
+        let vals = &vals[..safe_len];
         let mut addrs = [INACTIVE; 32];
         let mut i = 0;
         while i < vals.len() {
@@ -500,24 +618,76 @@ impl BlockCtx<'_> {
     pub fn smem_load(&mut self, addrs: &[usize], out: &mut [f64]) {
         self.counters.shared_scalar_requests +=
             (addrs.len() as u64).div_ceil(crate::shared::F64_PHASE_LANES as u64);
-        self.shared.load(&mut self.counters, addrs, out);
+        self.checked_smem_load(addrs, out);
     }
 
     /// Warp-level shared load for software-pipelined (fragment/operand)
     /// consumers: bank conflicts are accounted, latency exposure is not.
     pub fn smem_load_frag(&mut self, addrs: &[usize], out: &mut [f64]) {
-        self.shared.load(&mut self.counters, addrs, out);
+        self.checked_smem_load(addrs, out);
+    }
+
+    /// Shared load with sanitizer checks; out-of-bounds lanes (already
+    /// reported as memcheck findings) are clamped to address 0 so the
+    /// simulation survives the defect.
+    fn checked_smem_load(&mut self, addrs: &[usize], out: &mut [f64]) {
+        let clean = match &mut self.shadow {
+            Some(shadow) => shadow.check_load(&self.shared, addrs),
+            None => true,
+        };
+        if clean {
+            self.shared.load(&mut self.counters, addrs, out);
+        } else {
+            if self.shared.is_empty() {
+                out.fill(0.0);
+                return;
+            }
+            let len = self.shared.len();
+            let fixed: Vec<usize> = addrs.iter().map(|&a| if a < len { a } else { 0 }).collect();
+            self.shared.load(&mut self.counters, &fixed, out);
+        }
     }
 
     /// Warp-level shared store with bank-conflict accounting. An active
     /// fault plan may silently corrupt one stored value.
     pub fn smem_store(&mut self, addrs: &[usize], vals: &[f64]) {
+        let clean = match &mut self.shadow {
+            Some(shadow) => shadow.check_store(&self.shared, addrs, vals),
+            None => true,
+        };
+        let (filtered_addrs, filtered_vals);
+        let (addrs, vals): (&[usize], &[f64]) = if clean {
+            (addrs, vals)
+        } else {
+            // Drop out-of-bounds lanes (already reported as memcheck).
+            let len = self.shared.len();
+            let mut fa = Vec::with_capacity(addrs.len());
+            let mut fv = Vec::with_capacity(vals.len());
+            for (&a, &v) in addrs.iter().zip(vals) {
+                if a < len {
+                    fa.push(a);
+                    fv.push(v);
+                }
+            }
+            filtered_addrs = fa;
+            filtered_vals = fv;
+            (&filtered_addrs, &filtered_vals)
+        };
+        if addrs.is_empty() {
+            return;
+        }
         if let Some(fault) = &mut self.fault {
             if let Some(h) = fault.smem_corrupt() {
                 let lane = (h >> 8) as usize % vals.len();
                 let mut corrupted = vals.to_vec();
                 corrupted[lane] = crate::fault::corrupt_value(vals[lane], h);
                 self.counters.smem_faults_injected += 1;
+                // The sanitizer records where the corruption landed — a
+                // value change leaves coverage intact, so initcheck alone
+                // cannot localize it.
+                if let Some(shadow) = &mut self.shadow {
+                    shadow.record_fault(addrs[lane]);
+                }
                 self.shared.store(&mut self.counters, addrs, &corrupted);
                 return;
             }
@@ -531,7 +701,7 @@ impl BlockCtx<'_> {
     pub fn load_frag_a(&mut self, base: usize, row_stride: usize) -> FragA {
         let addrs = FragA::load_addresses(base, row_stride);
         let mut vals = [0.0; 32];
-        self.shared.load(&mut self.counters, &addrs, &mut vals);
+        self.checked_smem_load(&addrs, &mut vals);
         FragA { data: vals }
     }
 
@@ -539,7 +709,7 @@ impl BlockCtx<'_> {
     pub fn load_frag_b(&mut self, base: usize, row_stride: usize) -> FragB {
         let addrs = FragB::load_addresses(base, row_stride);
         let mut vals = [0.0; 32];
-        self.shared.load(&mut self.counters, &addrs, &mut vals);
+        self.checked_smem_load(&addrs, &mut vals);
         FragB { data: vals }
     }
 

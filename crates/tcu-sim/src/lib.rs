@@ -17,6 +17,10 @@
 //! * **Performance model** ([`cost`]): the paper's Eq. 2–4 evaluated over
 //!   the ledger, extended with CUDA-core instruction classes and a
 //!   wave-quantization occupancy term (DESIGN.md §5).
+//! * **Sanitizer** ([`sanitize`]): optional compute-sanitizer analog —
+//!   per-block shadow memory reporting initcheck/memcheck/racecheck
+//!   findings and a per-phase bank-conflict histogram; zero overhead when
+//!   disabled.
 //! * **Span tracing** ([`trace`]): optional per-phase observability —
 //!   each launch decomposed into spans with exact counter attribution,
 //!   modelled span time, and host wall-clock; JSONL export.
@@ -41,6 +45,7 @@ pub mod error;
 pub mod fault;
 pub mod fragment;
 pub mod global;
+pub mod sanitize;
 pub mod shared;
 pub mod trace;
 
@@ -52,5 +57,6 @@ pub use error::DeviceError;
 pub use fault::FaultPlan;
 pub use fragment::{dmma, hmma, FragA, FragAcc, FragB, Tile16};
 pub use global::{BufferId, GlobalMemory, INACTIVE};
+pub use sanitize::{FaultSite, SanitizerReport, ShadowState, Violation, ViolationKind};
 pub use shared::{conflict_free_pad, stride_is_conflict_free, SharedMemory};
 pub use trace::{Phase, Span, Trace};

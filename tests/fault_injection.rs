@@ -139,3 +139,32 @@ fn verified_periodic_boundary_matches_torus_reference() {
     let want = convstencil_repro::stencil_core::run2d_periodic(&grid, &kernel, 2);
     check_close_default(&out.interior(), &want.interior()).unwrap();
 }
+
+#[test]
+fn sanitizer_localizes_injected_smem_corruption() {
+    // Cross-validation of the fault layer against the sanitizer's shadow
+    // memory: every injected shared-memory corruption must surface as a
+    // recorded fault site in the scatter phase — localized, counted
+    // exactly, and without polluting the violation report (a corrupted
+    // *value* is still a *written* word).
+    use convstencil_repro::tcu_sim::Phase;
+    let plan = FaultPlan::quiet(7).with_smem_corrupt_rate(0.01);
+    let cs = heat2d_runner().with_fault_plan(plan).with_sanitizer(true);
+    let grid = test_grid(48, 64, 3, 7);
+    let (_, report) = cs.try_run(&grid, 3).unwrap();
+    let san = report.sanitizer.expect("sanitizer report requested");
+    assert!(
+        report.counters.smem_faults_injected > 0,
+        "plan should actually fire"
+    );
+    assert_eq!(
+        san.fault_sites.len() as u64,
+        report.counters.smem_faults_injected,
+        "every injected corruption must be localized"
+    );
+    assert!(san
+        .fault_sites
+        .iter()
+        .all(|s| s.phase == Phase::SmemScatter));
+    assert!(san.is_clean(), "corruption is not a coverage violation");
+}

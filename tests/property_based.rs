@@ -222,3 +222,51 @@ fn memory_saving_is_monotone_in_kernel_size() {
         last = saving;
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Static verifier soundness: every plan the planner emits — any
+    /// radius, grid shape, and breakdown variant — passes verification.
+    #[test]
+    fn planner_output_always_passes_static_verifier(
+        radius in prop::sample::select(vec![1usize, 2, 3]),
+        m in 8usize..80,
+        n in 16usize..160,
+        vidx in 0usize..5,
+        kernel_seed in 0u64..1000,
+    ) {
+        let nk = 2 * radius + 1;
+        let w: Vec<f64> = (0..nk * nk)
+            .map(|i| ((kernel_seed + i as u64) % 13) as f64 * 0.05 - 0.3)
+            .collect();
+        let kernel = Kernel2D::new(radius, w);
+        let variant = VariantConfig::breakdown()[vidx].1;
+        let exec = Exec2D::new(&kernel, m, n, variant);
+        prop_assert!(exec.verify().is_ok());
+    }
+
+    /// Static verifier completeness: *any* mutation of *any* lookup-table
+    /// entry is rejected — the LUT is fully pinned by the Eq. 5/6 maps
+    /// plus the dirty-slot assignment.
+    #[test]
+    fn any_lut_mutation_is_always_rejected(
+        entry_seed in 0u64..1_000_000_000,
+        delta in 1u32..2_000_000_000,
+        side in 0usize..2,
+        vidx in 0usize..5,
+    ) {
+        let variant = VariantConfig::breakdown()[vidx].1;
+        let kernel = Kernel2D::box_uniform(1);
+        let mut exec = Exec2D::new(&kernel, 40, 72, variant);
+        let p = &exec.plan;
+        let tile_rows = p.block_rows + p.nk - 1;
+        let span_aligned = p.span_aligned;
+        let t = (entry_seed as usize) % tile_rows;
+        let i = (entry_seed >> 16) as usize % span_aligned;
+        let mut e = exec.lut().get(t, i);
+        e[side] = e[side].wrapping_add(delta);
+        exec.lut_mut().set(t, i, e);
+        prop_assert!(exec.verify().is_err());
+    }
+}
