@@ -1,0 +1,88 @@
+//! A counting global allocator for the perf gate.
+//!
+//! `perf_gate` installs [`CountingAlloc`] as its `#[global_allocator]`
+//! (binary-local — the library never installs it) so each measured run
+//! can report how many heap allocations the hot path performs. Unlike
+//! wall-clock time, allocation counts are deterministic and
+//! machine-independent, which makes them the tight half of the perf
+//! gate: a regression that reintroduces per-block or per-tile heap
+//! traffic shows up as an exact count increase even on a noisy CI box.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Pass-through allocator that counts allocation calls and bytes.
+pub struct CountingAlloc;
+
+/// Allocation ledger between a [`reset`] and a [`snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Number of `alloc`/`alloc_zeroed`/`realloc` calls.
+    pub calls: u64,
+    /// Total bytes requested by those calls.
+    pub bytes: u64,
+}
+
+/// Zero the counters (call immediately before the measured region).
+pub fn reset() {
+    ALLOC_CALLS.store(0, Relaxed);
+    ALLOC_BYTES.store(0, Relaxed);
+}
+
+/// Read the counters (call immediately after the measured region).
+pub fn snapshot() -> AllocStats {
+    AllocStats {
+        calls: ALLOC_CALLS.load(Relaxed),
+        bytes: ALLOC_BYTES.load(Relaxed),
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The test binary does not install CountingAlloc, so exercise the
+    // counters directly through the GlobalAlloc impl.
+    #[test]
+    fn counting_alloc_counts_calls_and_bytes() {
+        reset();
+        let layout = Layout::from_size_align(64, 8).unwrap();
+        unsafe {
+            let p = CountingAlloc.alloc(layout);
+            assert!(!p.is_null());
+            CountingAlloc.dealloc(p, layout);
+        }
+        let s = snapshot();
+        assert_eq!(s.calls, 1);
+        assert_eq!(s.bytes, 64);
+        reset();
+        assert_eq!(snapshot(), AllocStats { calls: 0, bytes: 0 });
+    }
+}

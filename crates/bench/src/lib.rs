@@ -18,14 +18,17 @@
 //! throughput is measured at reduced scale and projected to the paper's
 //! Table 4 sizes ([`projection`]); EXPERIMENTS.md records paper-vs-measured.
 
+pub mod alloc_counter;
 pub mod bench_json;
 pub mod csv;
+pub mod perf;
 pub mod projection;
 pub mod report;
 pub mod workloads;
 
 pub use bench_json::{maybe_write_bench_json, write_bench_json, BenchRecord};
 pub use csv::{atomic_write, csv_mode, maybe_write_csv, write_csv};
+pub use perf::{gate_violations, parse_perf_json, GateThresholds, PerfRecord};
 pub use projection::{project_report, Projection};
 pub use workloads::{fig8_sizes_2d, fig8_sizes_3d, table4, workload_for, Workload};
 

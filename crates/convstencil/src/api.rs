@@ -212,6 +212,7 @@ pub struct ConvStencil2D {
     fault: Option<FaultPlan>,
     tracing: bool,
     sanitize: bool,
+    pooling: bool,
 }
 
 impl ConvStencil2D {
@@ -257,6 +258,7 @@ impl ConvStencil2D {
             fault: None,
             tracing: false,
             sanitize: false,
+            pooling: true,
         })
     }
 
@@ -304,6 +306,16 @@ impl ConvStencil2D {
     /// by default — the default path allocates no shadow state.
     pub fn with_sanitizer(mut self, on: bool) -> Self {
         self.sanitize = on;
+        self
+    }
+
+    /// Toggle the device's per-launch scratch pooling (on by default).
+    /// The unpooled path allocates fresh per-block state every launch and
+    /// retires writes element-by-element; it exists as the reference
+    /// implementation for equivalence testing and produces bit-identical
+    /// outputs, counters, traces, and sanitizer reports.
+    pub fn with_scratch_pooling(mut self, on: bool) -> Self {
+        self.pooling = on;
         self
     }
 
@@ -428,6 +440,7 @@ impl ConvStencil2D {
         dev.set_fault_plan(self.fault);
         dev.set_tracing(self.tracing);
         dev.set_sanitizer(self.sanitize);
+        dev.set_scratch_pooling(self.pooling);
         dev
     }
 
@@ -536,6 +549,7 @@ pub struct ConvStencil1D {
     fault: Option<FaultPlan>,
     tracing: bool,
     sanitize: bool,
+    pooling: bool,
 }
 
 impl ConvStencil1D {
@@ -579,6 +593,7 @@ impl ConvStencil1D {
             fault: None,
             tracing: false,
             sanitize: false,
+            pooling: true,
         })
     }
 
@@ -614,6 +629,12 @@ impl ConvStencil1D {
     /// [`ConvStencil2D::with_sanitizer`]).
     pub fn with_sanitizer(mut self, on: bool) -> Self {
         self.sanitize = on;
+        self
+    }
+
+    /// Toggle scratch pooling (see [`ConvStencil2D::with_scratch_pooling`]).
+    pub fn with_scratch_pooling(mut self, on: bool) -> Self {
+        self.pooling = on;
         self
     }
 
@@ -725,6 +746,7 @@ impl ConvStencil1D {
         dev.set_fault_plan(self.fault);
         dev.set_tracing(self.tracing);
         dev.set_sanitizer(self.sanitize);
+        dev.set_scratch_pooling(self.pooling);
         dev
     }
 
@@ -828,6 +850,7 @@ pub struct ConvStencil3D {
     fault: Option<FaultPlan>,
     tracing: bool,
     sanitize: bool,
+    pooling: bool,
 }
 
 impl ConvStencil3D {
@@ -848,6 +871,7 @@ impl ConvStencil3D {
             fault: None,
             tracing: false,
             sanitize: false,
+            pooling: true,
         })
     }
 
@@ -883,6 +907,12 @@ impl ConvStencil3D {
     /// [`ConvStencil2D::with_sanitizer`]).
     pub fn with_sanitizer(mut self, on: bool) -> Self {
         self.sanitize = on;
+        self
+    }
+
+    /// Toggle scratch pooling (see [`ConvStencil2D::with_scratch_pooling`]).
+    pub fn with_scratch_pooling(mut self, on: bool) -> Self {
+        self.pooling = on;
         self
     }
 
@@ -988,6 +1018,7 @@ impl ConvStencil3D {
         dev.set_fault_plan(self.fault);
         dev.set_tracing(self.tracing);
         dev.set_sanitizer(self.sanitize);
+        dev.set_scratch_pooling(self.pooling);
         dev
     }
 

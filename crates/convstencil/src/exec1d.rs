@@ -339,11 +339,13 @@ impl Exec1D {
         let chunk = 4096usize;
         let num_blocks = p.ext_len.div_ceil(chunk);
         let first = p.lc - p.radius;
+        dev.set_write_hint(2 * chunk);
         dev.try_launch(num_blocks, 64, |bid, ctx| {
             ctx.phase(Phase::LayoutTransform);
             let c0 = bid * chunk;
             let c1 = (c0 + chunk).min(p.ext_len);
-            let vals = ctx.gmem_read_span(ext_in, c0, c1 - c0);
+            let mut vals = vec![0.0f64; c1 - c0];
+            ctx.gmem_read_span_into(ext_in, c0, &mut vals);
             let mut a_addrs = [INACTIVE; 32];
             let mut b_addrs = [INACTIVE; 32];
             let mut a_vals = [0.0f64; 32];
@@ -393,6 +395,7 @@ impl Exec1D {
         explicit: Option<(BufferId, BufferId)>,
     ) -> Result<(), ConvStencilError> {
         let p = &self.plan;
+        dev.set_write_hint(p.block_groups * (p.nk + 1));
         dev.try_launch(p.blocks, self.shared_len(), |bid, ctx| {
             ctx.phase(Phase::SmemScatter);
             match explicit {
@@ -414,10 +417,10 @@ impl Exec1D {
         let read0 = p.read_col0(bid);
         let mut gaddrs = [INACTIVE; 32];
         let mut vals = [0.0f64; 32];
-        let mut a_addrs: Vec<usize> = Vec::with_capacity(32);
-        let mut a_vals: Vec<f64> = Vec::with_capacity(32);
-        let mut b_addrs: Vec<usize> = Vec::with_capacity(32);
-        let mut b_vals: Vec<f64> = Vec::with_capacity(32);
+        let mut a_addrs = [0usize; 32];
+        let mut a_vals = [0.0f64; 32];
+        let mut b_addrs = [0usize; 32];
+        let mut b_vals = [0.0f64; 32];
         let mut i = 0usize;
         while i < p.span_aligned {
             let lanes = 32.min(p.span_aligned - i);
@@ -432,26 +435,25 @@ impl Exec1D {
                 ctx.count_branch(2 * lanes as u64);
                 ctx.count_int(4 * lanes as u64);
             }
-            a_addrs.clear();
-            a_vals.clear();
-            b_addrs.clear();
-            b_vals.clear();
+            let (mut na, mut nb) = (0usize, 0usize);
             for l in 0..lanes {
                 let [a, b] = self.lut[i + l];
                 if a != LUT_SKIP {
-                    a_addrs.push(a as usize);
-                    a_vals.push(vals[l]);
+                    a_addrs[na] = a as usize;
+                    a_vals[na] = vals[l];
+                    na += 1;
                 }
                 if b != LUT_SKIP {
-                    b_addrs.push(b as usize);
-                    b_vals.push(vals[l]);
+                    b_addrs[nb] = b as usize;
+                    b_vals[nb] = vals[l];
+                    nb += 1;
                 }
             }
-            if !a_addrs.is_empty() {
-                ctx.smem_store(&a_addrs, &a_vals);
+            if na > 0 {
+                ctx.smem_store(&a_addrs[..na], &a_vals[..na]);
             }
-            if !b_addrs.is_empty() {
-                ctx.smem_store(&b_addrs, &b_vals);
+            if nb > 0 {
+                ctx.smem_store(&b_addrs[..nb], &b_vals[..nb]);
             }
             i += lanes;
         }
@@ -464,24 +466,26 @@ impl Exec1D {
         let g0 = bid * p.block_groups;
         // Read a contiguous span of both matrices and store rows into the
         // strided shared layout.
+        let mut vals = vec![0.0f64; p.block_groups * nk];
+        let mut addrs = [0usize; 32];
+        let mut avals = [0.0f64; 32];
         for (buf, base_off) in [(bufs.0, p.a_off), (bufs.1, p.b_off)] {
-            let vals = ctx.gmem_read_span(buf, g0 * nk, p.block_groups * nk);
+            ctx.gmem_read_span_into(buf, g0 * nk, &mut vals);
             ctx.count_int(vals.len() as u64);
-            let mut addrs: Vec<usize> = Vec::with_capacity(32);
-            let mut avals: Vec<f64> = Vec::with_capacity(32);
+            let mut lane = 0usize;
             for g in 0..p.block_groups {
                 for off in 0..nk {
-                    addrs.push(base_off + g * p.stride + off);
-                    avals.push(vals[g * nk + off]);
-                    if addrs.len() == 32 {
+                    addrs[lane] = base_off + g * p.stride + off;
+                    avals[lane] = vals[g * nk + off];
+                    lane += 1;
+                    if lane == 32 {
                         ctx.smem_store(&addrs, &avals);
-                        addrs.clear();
-                        avals.clear();
+                        lane = 0;
                     }
                 }
             }
-            if !addrs.is_empty() {
-                ctx.smem_store(&addrs, &avals);
+            if lane > 0 {
+                ctx.smem_store(&addrs[..lane], &avals[..lane]);
             }
         }
     }
@@ -489,12 +493,15 @@ impl Exec1D {
     fn stage_weight_frags(&self, ctx: &mut BlockCtx) -> (Vec<FragB>, Vec<FragB>) {
         let p = &self.plan;
         let w = &self.weights;
+        let mut addrs = [0usize; 32];
         for (off, data) in [(p.wa_off, &w.a), (p.wb_off, &w.b)] {
             let mut i = 0;
             while i < data.len() {
                 let lanes = 32.min(data.len() - i);
-                let addrs: Vec<usize> = (0..lanes).map(|l| off + i + l).collect();
-                ctx.smem_store(&addrs, &data[i..i + lanes]);
+                for (l, a) in addrs.iter_mut().enumerate().take(lanes) {
+                    *a = off + i + l;
+                }
+                ctx.smem_store(&addrs[..lanes], &data[i..i + lanes]);
                 i += lanes;
             }
         }
@@ -516,7 +523,10 @@ impl Exec1D {
         let (wa, wb) = self.stage_weight_frags(ctx);
         ctx.phase(Phase::Tessellation);
         let bands = p.block_groups / 8;
-        let mut out_vals = vec![0.0f64; 8 * (nk + 1)];
+        // 1D plans cap n_k at 7, so a band's 8(nk+1) outputs fit 64 f64
+        // of stack — no per-block heap buffer.
+        let mut band_buf = [0.0f64; 64];
+        let out_vals = &mut band_buf[..8 * (nk + 1)];
         for band in 0..bands {
             let mut acc = FragAcc::zero();
             let a_base = p.a_off + band * 8 * p.stride;
@@ -535,7 +545,7 @@ impl Exec1D {
                 }
             }
             let y0 = (bid * p.block_groups + band * 8) * (nk + 1);
-            self.write_row(ctx, ext_out, y0, &out_vals);
+            self.write_row(ctx, ext_out, y0, out_vals);
         }
     }
 
@@ -543,9 +553,9 @@ impl Exec1D {
         let p = &self.plan;
         ctx.phase(Phase::Tessellation);
         let out_width = p.block_groups * (p.nk + 1);
-        let mut addrs = vec![0usize; 32];
-        let mut vals = vec![0.0f64; 32];
-        let mut sums = vec![0.0f64; 32];
+        let mut addrs = [0usize; 32];
+        let mut vals = [0.0f64; 32];
+        let mut sums = [0.0f64; 32];
         let mut yl0 = 0usize;
         while yl0 < out_width {
             let lanes = 32.min(out_width - yl0);
@@ -612,12 +622,14 @@ pub fn try_halo_exchange_1d(
             radius: r,
         });
     }
+    dev.set_write_hint(2 * r);
     dev.try_launch(1, 64, |_, ctx| {
         ctx.phase(Phase::HaloExchange);
-        let left = ctx.gmem_read_span(ext, lc + n - r, r);
-        ctx.gmem_write_span(ext, lc - r, &left);
-        let right = ctx.gmem_read_span(ext, lc, r);
-        ctx.gmem_write_span(ext, lc + n, &right);
+        let mut vals = vec![0.0f64; r];
+        ctx.gmem_read_span_into(ext, lc + n - r, &mut vals);
+        ctx.gmem_write_span(ext, lc - r, &vals);
+        ctx.gmem_read_span_into(ext, lc, &mut vals);
+        ctx.gmem_write_span(ext, lc + n, &vals);
     })?;
     Ok(())
 }
@@ -661,7 +673,9 @@ pub fn try_run_1d_applications_bc(
         exec.try_run_application(dev, cur, next, scratch)?;
         std::mem::swap(&mut cur, &mut next);
     }
-    Ok(dev.download(cur).to_vec())
+    // The device never touches the ping-pong buffers again: move the
+    // final extended array out instead of copying the whole grid.
+    Ok(dev.take_buffer(cur))
 }
 
 #[cfg(test)]

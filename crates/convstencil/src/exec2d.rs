@@ -29,6 +29,10 @@ use crate::weights::WeightMatrices;
 use stencil_core::Kernel2D;
 use tcu_sim::{BlockCtx, BufferId, Device, FragAcc, FragB, Phase, INACTIVE};
 
+/// Stack-buffer capacity for one tessellation band's `8(n_k+1)` outputs
+/// (shared-memory capacity keeps `n_k` far below 31 in any valid plan).
+pub(crate) const MAX_BAND_F64: usize = 256;
+
 /// Precompiled 2D executor: plan + LUT + weights for one kernel/problem.
 #[derive(Debug, Clone)]
 pub struct Exec2D {
@@ -236,6 +240,7 @@ impl Exec2D {
         let rows_per_block = 32usize;
         let num_blocks = p.ext_rows.div_ceil(rows_per_block);
         let first = p.lc - p.radius; // ext column where the conv window starts
+        dev.set_write_hint(rows_per_block * 2 * p.span);
         dev.try_launch(num_blocks, 64, |bid, ctx| {
             ctx.phase(Phase::LayoutTransform);
             let r0 = bid * rows_per_block;
@@ -244,8 +249,9 @@ impl Exec2D {
             let mut a_vals = [0.0f64; 32];
             let mut b_addrs = [INACTIVE; 32];
             let mut b_vals = [0.0f64; 32];
+            let mut vals = vec![0.0f64; p.ext_cols];
             for r in r0..r1 {
-                let vals = ctx.gmem_read_span(ext_in, r * p.ext_cols, p.ext_cols);
+                ctx.gmem_read_span_into(ext_in, r * p.ext_cols, &mut vals);
                 let mut lane = 0usize;
                 for (c, &v) in vals.iter().enumerate() {
                     let Some(c_rel) = c.checked_sub(first) else {
@@ -294,6 +300,7 @@ impl Exec2D {
     ) -> Result<(), ConvStencilError> {
         let p = &self.plan;
         let num_blocks = p.num_blocks();
+        dev.set_write_hint(p.block_rows * p.block_groups * (p.nk + 1));
         dev.try_launch(num_blocks, self.shared_len(), |bid, ctx| {
             let bx = bid / p.blocks_g;
             let bg = bid % p.blocks_g;
@@ -329,10 +336,10 @@ impl Exec2D {
         let lut_mode = self.variant.dirty_bits_lut;
         let mut gaddrs = [INACTIVE; 32];
         let mut vals = [0.0f64; 32];
-        let mut a_addrs: Vec<usize> = Vec::with_capacity(32);
-        let mut a_vals: Vec<f64> = Vec::with_capacity(32);
-        let mut b_addrs: Vec<usize> = Vec::with_capacity(32);
-        let mut b_vals: Vec<f64> = Vec::with_capacity(32);
+        let mut a_addrs = [0usize; 32];
+        let mut a_vals = [0.0f64; 32];
+        let mut b_addrs = [0usize; 32];
+        let mut b_vals = [0.0f64; 32];
         for t in 0..tile_rows {
             let ext_r = bx * p.block_rows + t;
             let row_base = ext_r * p.ext_cols + read0;
@@ -356,26 +363,25 @@ impl Exec2D {
                     ctx.count_branch(2 * lanes as u64);
                     ctx.count_int(4 * lanes as u64);
                 }
-                a_addrs.clear();
-                a_vals.clear();
-                b_addrs.clear();
-                b_vals.clear();
+                let (mut na, mut nb) = (0usize, 0usize);
                 for l in 0..lanes {
                     let [a, b] = self.lut.get(t, i + l);
                     if a != LUT_SKIP {
-                        a_addrs.push(a as usize);
-                        a_vals.push(vals[l]);
+                        a_addrs[na] = a as usize;
+                        a_vals[na] = vals[l];
+                        na += 1;
                     }
                     if b != LUT_SKIP {
-                        b_addrs.push(b as usize);
-                        b_vals.push(vals[l]);
+                        b_addrs[nb] = b as usize;
+                        b_vals[nb] = vals[l];
+                        nb += 1;
                     }
                 }
-                if !a_addrs.is_empty() {
-                    ctx.smem_store(&a_addrs, &a_vals);
+                if na > 0 {
+                    ctx.smem_store(&a_addrs[..na], &a_vals[..na]);
                 }
-                if !b_addrs.is_empty() {
-                    ctx.smem_store(&b_addrs, &b_vals);
+                if nb > 0 {
+                    ctx.smem_store(&b_addrs[..nb], &b_vals[..nb]);
                 }
                 i += lanes;
             }
@@ -399,7 +405,8 @@ impl Exec2D {
         let (rows_a, rows_b, cols) = self.explicit_dims();
         let col0 = p.nk * (bx * p.block_rows);
         let width = (p.nk * tile_rows).min(cols - col0);
-        let mut addrs: Vec<usize> = Vec::with_capacity(32);
+        let mut addrs = [0usize; 32];
+        let mut vals = vec![0.0f64; width];
         for ga in 0..p.block_groups {
             let g = bg * p.block_groups + ga;
             for (buf, rows, base_off) in [
@@ -409,14 +416,15 @@ impl Exec2D {
                 if g >= rows {
                     continue;
                 }
-                let vals = ctx.gmem_read_span(buf, g * cols + col0, width);
+                ctx.gmem_read_span_into(buf, g * cols + col0, &mut vals);
                 ctx.count_int(width as u64);
                 let mut i = 0;
                 while i < width {
                     let lanes = 32.min(width - i);
-                    addrs.clear();
-                    addrs.extend((0..lanes).map(|l| base_off + ga * lay.stride + i + l));
-                    ctx.smem_store(&addrs, &vals[i..i + lanes]);
+                    for (l, a) in addrs.iter_mut().enumerate().take(lanes) {
+                        *a = base_off + ga * lay.stride + i + l;
+                    }
+                    ctx.smem_store(&addrs[..lanes], &vals[i..i + lanes]);
                     i += lanes;
                 }
             }
@@ -428,12 +436,15 @@ impl Exec2D {
     fn stage_weight_frags(&self, ctx: &mut BlockCtx) -> (Vec<FragB>, Vec<FragB>) {
         let lay = &self.plan.layout;
         let w = &self.weights;
+        let mut addrs = [0usize; 32];
         for (off, data) in [(lay.wa_off, &w.a), (lay.wb_off, &w.b)] {
             let mut i = 0;
             while i < data.len() {
                 let lanes = 32.min(data.len() - i);
-                let addrs: Vec<usize> = (0..lanes).map(|l| off + i + l).collect();
-                ctx.smem_store(&addrs, &data[i..i + lanes]);
+                for (l, a) in addrs.iter_mut().enumerate().take(lanes) {
+                    *a = off + i + l;
+                }
+                ctx.smem_store(&addrs[..lanes], &data[i..i + lanes]);
                 i += lanes;
             }
         }
@@ -466,7 +477,15 @@ impl Exec2D {
         ctx.phase(Phase::Tessellation);
         let chunks = self.weights.krows / 4;
         let bands = p.block_groups / 8;
-        let mut out_vals = vec![0.0f64; 8 * (nk + 1)];
+        // A tessellation band emits 8(nk+1) contiguous outputs; nk is
+        // bounded far below 31 by shared-memory capacity, so a fixed
+        // stack buffer replaces the old per-block heap vector.
+        assert!(
+            8 * (nk + 1) <= MAX_BAND_F64,
+            "n_k too large for band buffer"
+        );
+        let mut band_buf = [0.0f64; MAX_BAND_F64];
+        let out_vals = &mut band_buf[..8 * (nk + 1)];
         for xr in 0..rows_here {
             for band in 0..bands {
                 let mut acc = FragAcc::zero();
@@ -489,7 +508,7 @@ impl Exec2D {
                 }
                 let x = bx * p.block_rows + xr;
                 let y0 = (bg * p.block_groups + band * 8) * (nk + 1);
-                self.write_row(ctx, ext_out, x, y0, &out_vals);
+                self.write_row(ctx, ext_out, x, y0, out_vals);
             }
         }
     }
@@ -509,9 +528,9 @@ impl Exec2D {
         let nk = p.nk;
         ctx.phase(Phase::Tessellation);
         let out_width = p.block_groups * (nk + 1);
-        let mut addrs = vec![0usize; 32];
-        let mut vals = vec![0.0f64; 32];
-        let mut sums = vec![0.0f64; 32];
+        let mut addrs = [0usize; 32];
+        let mut vals = [0.0f64; 32];
+        let mut sums = [0.0f64; 32];
         for xr in 0..rows_here {
             let mut yl0 = 0usize;
             while yl0 < out_width {
@@ -595,30 +614,33 @@ pub fn try_halo_exchange_2d(
     let (lr, lc, cols) = (plan.lr, plan.lc, plan.ext_cols);
     // Kernel 1: column wrap for every interior row.
     let rows_per_block = 64usize;
+    dev.set_write_hint(rows_per_block * 2 * r);
     dev.try_launch(m.div_ceil(rows_per_block), 64, |bid, ctx| {
         ctx.phase(Phase::HaloExchange);
         let x0 = bid * rows_per_block;
         let x1 = (x0 + rows_per_block).min(m);
+        let mut left = vec![0.0f64; r];
+        let mut right = vec![0.0f64; r];
         for x in x0..x1 {
             let row = (x + lr) * cols;
-            let left = ctx.gmem_read_span(ext, row + lc + n - r, r);
+            ctx.gmem_read_span_into(ext, row + lc + n - r, &mut left);
             ctx.gmem_write_span(ext, row + lc - r, &left);
-            let right = ctx.gmem_read_span(ext, row + lc, r);
+            ctx.gmem_read_span_into(ext, row + lc, &mut right);
             ctx.gmem_write_span(ext, row + lc + n, &right);
         }
     })?;
     // Kernel 2: full-row wrap for the r halo rows on each side (one block
     // per wrapped row pair).
+    dev.set_write_hint(2 * cols);
     dev.try_launch(r, 64, |bid, ctx| {
         ctx.phase(Phase::HaloExchange);
         let i = bid;
+        let mut vals = vec![0.0f64; cols];
         // Top halo ext row i <- ext row m + i.
-        let src = (m + i) * cols;
-        let vals = ctx.gmem_read_span(ext, src, cols);
+        ctx.gmem_read_span_into(ext, (m + i) * cols, &mut vals);
         ctx.gmem_write_span(ext, i * cols, &vals);
         // Bottom halo ext row lr + m + i <- ext row lr + i.
-        let src = (lr + i) * cols;
-        let vals = ctx.gmem_read_span(ext, src, cols);
+        ctx.gmem_read_span_into(ext, (lr + i) * cols, &mut vals);
         ctx.gmem_write_span(ext, (lr + m + i) * cols, &vals);
     })?;
     Ok(())
@@ -667,7 +689,9 @@ pub fn try_run_2d_applications_bc(
         exec.try_run_application(dev, cur, next, scratch)?;
         std::mem::swap(&mut cur, &mut next);
     }
-    Ok(dev.download(cur).to_vec())
+    // The device never touches the ping-pong buffers again: move the
+    // final extended array out instead of copying the whole grid.
+    Ok(dev.take_buffer(cur))
 }
 
 #[cfg(test)]

@@ -254,6 +254,7 @@ impl Exec3D {
         let blocks_per_plane = p.ext_rows.div_ceil(rows_per_block);
         let num_blocks = self.ext_planes() * blocks_per_plane;
         let first = p.lc - p.radius;
+        dev.set_write_hint(rows_per_block * 2 * p.span);
         dev.try_launch(num_blocks, 64, |bid, ctx| {
             ctx.phase(Phase::LayoutTransform);
             let plane = bid / blocks_per_plane;
@@ -264,8 +265,9 @@ impl Exec3D {
             let mut a_addrs = [INACTIVE; 32];
             let mut b_addrs = [INACTIVE; 32];
             let mut vals32 = [0.0f64; 32];
+            let mut vals = vec![0.0f64; p.ext_cols];
             for r in r0..r1 {
-                let vals = ctx.gmem_read_span(ext_in, plane * ps + r * p.ext_cols, p.ext_cols);
+                ctx.gmem_read_span_into(ext_in, plane * ps + r * p.ext_cols, &mut vals);
                 let mut lane = 0usize;
                 for (c, &v) in vals.iter().enumerate() {
                     let Some(c_rel) = c.checked_sub(first) else {
@@ -318,7 +320,8 @@ impl Exec3D {
         let sec = plane * bufs.rows * bufs.cols;
         let col0 = p.nk * (bx * p.block_rows);
         let width = (p.nk * tile_rows).min(bufs.cols - col0);
-        let mut addrs: Vec<usize> = Vec::with_capacity(32);
+        let mut addrs = [0usize; 32];
+        let mut vals = vec![0.0f64; width];
         for ga in 0..p.block_groups {
             let g = bg * p.block_groups + ga;
             if g >= bufs.rows {
@@ -328,14 +331,15 @@ impl Exec3D {
                 (bufs.s2r_a, base_off + lay.a_off),
                 (bufs.s2r_b, base_off + lay.b_off),
             ] {
-                let vals = ctx.gmem_read_span(buf, sec + g * bufs.cols + col0, width);
+                ctx.gmem_read_span_into(buf, sec + g * bufs.cols + col0, &mut vals);
                 ctx.count_int(width as u64);
                 let mut i = 0;
                 while i < width {
                     let lanes = 32.min(width - i);
-                    addrs.clear();
-                    addrs.extend((0..lanes).map(|l| off + ga * lay.stride + i + l));
-                    ctx.smem_store(&addrs, &vals[i..i + lanes]);
+                    for (l, a) in addrs[..lanes].iter_mut().enumerate() {
+                        *a = off + ga * lay.stride + i + l;
+                    }
+                    ctx.smem_store(&addrs[..lanes], &vals[i..i + lanes]);
                     i += lanes;
                 }
             }
@@ -432,6 +436,7 @@ impl Exec3D {
         let z_blocks = self.d.div_ceil(self.bz);
         let num_blocks = z_blocks * blocks_per_plane;
         let ps = self.plane_size();
+        dev.set_write_hint(self.bz * p.block_rows * p.block_groups * (p.nk + 1));
         dev.try_launch(num_blocks, self.shared_len(), |bid, ctx| {
             let zb = bid / blocks_per_plane;
             let rem = bid % blocks_per_plane;
@@ -508,10 +513,10 @@ impl Exec3D {
         let read0 = p.read_col0(bg);
         let mut gaddrs = [INACTIVE; 32];
         let mut vals = [0.0f64; 32];
-        let mut a_addrs: Vec<usize> = Vec::with_capacity(32);
-        let mut a_vals: Vec<f64> = Vec::with_capacity(32);
-        let mut b_addrs: Vec<usize> = Vec::with_capacity(32);
-        let mut b_vals: Vec<f64> = Vec::with_capacity(32);
+        let mut a_addrs = [0usize; 32];
+        let mut a_vals = [0.0f64; 32];
+        let mut b_addrs = [0usize; 32];
+        let mut b_vals = [0.0f64; 32];
         for t in 0..tile_rows {
             let row_base = plane_base + (bx * p.block_rows + t) * p.ext_cols + read0;
             let mut i = 0usize;
@@ -532,26 +537,25 @@ impl Exec3D {
                     ctx.count_branch(2 * lanes as u64);
                     ctx.count_int(4 * lanes as u64);
                 }
-                a_addrs.clear();
-                a_vals.clear();
-                b_addrs.clear();
-                b_vals.clear();
+                let (mut na, mut nb) = (0usize, 0usize);
                 for l in 0..lanes {
                     let [a, b] = self.lut.get(t, i + l);
                     if a != LUT_SKIP {
-                        a_addrs.push(base_off + a as usize);
-                        a_vals.push(vals[l]);
+                        a_addrs[na] = base_off + a as usize;
+                        a_vals[na] = vals[l];
+                        na += 1;
                     }
                     if b != LUT_SKIP {
-                        b_addrs.push(base_off + b as usize);
-                        b_vals.push(vals[l]);
+                        b_addrs[nb] = base_off + b as usize;
+                        b_vals[nb] = vals[l];
+                        nb += 1;
                     }
                 }
-                if !a_addrs.is_empty() {
-                    ctx.smem_store(&a_addrs, &a_vals);
+                if na > 0 {
+                    ctx.smem_store(&a_addrs[..na], &a_vals[..na]);
                 }
-                if !b_addrs.is_empty() {
-                    ctx.smem_store(&b_addrs, &b_vals);
+                if nb > 0 {
+                    ctx.smem_store(&b_addrs[..nb], &b_vals[..nb]);
                 }
                 i += lanes;
             }
@@ -566,12 +570,15 @@ impl Exec3D {
     ) -> (Vec<FragB>, Vec<FragB>) {
         let wa_off = off;
         let wb_off = off + w.krows * 8;
+        let mut addrs = [0usize; 32];
         for (o, data) in [(wa_off, &w.a), (wb_off, &w.b)] {
             let mut i = 0;
             while i < data.len() {
                 let lanes = 32.min(data.len() - i);
-                let addrs: Vec<usize> = (0..lanes).map(|l| o + i + l).collect();
-                ctx.smem_store(&addrs, &data[i..i + lanes]);
+                for (l, a) in addrs[..lanes].iter_mut().enumerate() {
+                    *a = o + i + l;
+                }
+                ctx.smem_store(&addrs[..lanes], &data[i..i + lanes]);
                 i += lanes;
             }
         }
@@ -604,9 +611,11 @@ impl Exec3D {
         let ps = self.plane_size();
         let bands = p.block_groups / 8;
         let band_width = 8 * (nk + 1);
-        let mut out_vals = vec![0.0f64; band_width];
-        let mut addrs = vec![0usize; 32];
-        let mut lvals = vec![0.0f64; 32];
+        assert!(band_width <= crate::exec2d::MAX_BAND_F64);
+        let mut band_buf = [0.0f64; crate::exec2d::MAX_BAND_F64];
+        let out_vals = &mut band_buf[..band_width];
+        let mut addrs = [0usize; 32];
+        let mut lvals = [0.0f64; 32];
         for xr in 0..rows_here {
             for band in 0..bands {
                 // MMA planes accumulate in one fragment.
@@ -718,35 +727,43 @@ pub fn try_halo_exchange_3d(
     }
     let (lr, lc, cols) = (p.lr, p.lc, p.ext_cols);
     let ps = exec.plane_size();
-    // Kernel 1: column wrap for every interior (plane, row).
+    // Kernel 1: column wrap for every interior (plane, row). Writes are
+    // buffered into the launch arena at push time, so one scratch vec can
+    // carry both sides of each row.
+    dev.set_write_hint(m * 2 * r);
     dev.try_launch(d, 64, |z, ctx| {
         ctx.phase(Phase::HaloExchange);
         let base = (z + r) * ps;
+        let mut vals = vec![0.0f64; r];
         for x in 0..m {
             let row = base + (x + lr) * cols;
-            let left = ctx.gmem_read_span(ext, row + lc + n - r, r);
-            ctx.gmem_write_span(ext, row + lc - r, &left);
-            let right = ctx.gmem_read_span(ext, row + lc, r);
-            ctx.gmem_write_span(ext, row + lc + n, &right);
+            ctx.gmem_read_span_into(ext, row + lc + n - r, &mut vals);
+            ctx.gmem_write_span(ext, row + lc - r, &vals);
+            ctx.gmem_read_span_into(ext, row + lc, &mut vals);
+            ctx.gmem_write_span(ext, row + lc + n, &vals);
         }
     })?;
     // Kernel 2: row wrap within each interior plane.
+    dev.set_write_hint(2 * r * cols);
     dev.try_launch(d, 64, |z, ctx| {
         ctx.phase(Phase::HaloExchange);
         let base = (z + r) * ps;
+        let mut vals = vec![0.0f64; cols];
         for i in 0..r {
-            let vals = ctx.gmem_read_span(ext, base + (m + i) * cols, cols);
+            ctx.gmem_read_span_into(ext, base + (m + i) * cols, &mut vals);
             ctx.gmem_write_span(ext, base + i * cols, &vals);
-            let vals = ctx.gmem_read_span(ext, base + (lr + i) * cols, cols);
+            ctx.gmem_read_span_into(ext, base + (lr + i) * cols, &mut vals);
             ctx.gmem_write_span(ext, base + (lr + m + i) * cols, &vals);
         }
     })?;
     // Kernel 3: full-plane wrap.
+    dev.set_write_hint(2 * ps);
     dev.try_launch(r, 64, |i, ctx| {
         ctx.phase(Phase::HaloExchange);
-        let vals = ctx.gmem_read_span(ext, (d + i) * ps, ps);
+        let mut vals = vec![0.0f64; ps];
+        ctx.gmem_read_span_into(ext, (d + i) * ps, &mut vals);
         ctx.gmem_write_span(ext, i * ps, &vals);
-        let vals = ctx.gmem_read_span(ext, (r + i) * ps, ps);
+        ctx.gmem_read_span_into(ext, (r + i) * ps, &mut vals);
         ctx.gmem_write_span(ext, (r + d + i) * ps, &vals);
     })?;
     Ok(())
@@ -790,7 +807,9 @@ pub fn try_run_3d_applications_bc(
         exec.try_run_application(dev, cur, next, scratch)?;
         std::mem::swap(&mut cur, &mut next);
     }
-    Ok(dev.download(cur).to_vec())
+    // The device never touches the ping-pong buffers again: move the
+    // final extended array out instead of copying the whole grid.
+    Ok(dev.take_buffer(cur))
 }
 
 #[cfg(test)]

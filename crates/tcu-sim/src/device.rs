@@ -22,24 +22,102 @@ use crate::sanitize::{SanitizerReport, ShadowState};
 use crate::shared::SharedMemory;
 use crate::trace::{Phase, Span, Trace};
 use rayon::prelude::*;
+use std::sync::Mutex;
 use std::time::Instant;
 
 const PHASE_COUNT: usize = Phase::ALL.len();
 
 /// A contiguous run of buffered global writes (compact representation of a
-/// block's output).
-#[derive(Debug, Clone)]
+/// block's output). The values live in the block's [`WriteLog`] arena at
+/// `[off, off + len)`.
+#[derive(Debug, Clone, Copy)]
 struct WriteRun {
     buf: BufferId,
     start: usize,
-    vals: Vec<f64>,
+    off: usize,
+    len: usize,
+}
+
+/// A block's buffered global writes: run metadata over one flat value
+/// arena (one growable allocation per block instead of one `Vec` per
+/// store), plus the single-element scatter list. Retirement replays
+/// `runs` in push order, then `scatter` — the same order as the legacy
+/// per-`Vec` representation, so results are unchanged.
+#[derive(Debug, Default)]
+struct WriteLog {
+    runs: Vec<WriteRun>,
+    data: Vec<f64>,
+    scatter: Vec<(BufferId, usize, f64)>,
+}
+
+impl WriteLog {
+    fn push_run(&mut self, buf: BufferId, start: usize, vals: &[f64]) {
+        let off = self.data.len();
+        self.data.extend_from_slice(vals);
+        self.runs.push(WriteRun {
+            buf,
+            start,
+            off,
+            len: vals.len(),
+        });
+    }
+
+    fn clear(&mut self) {
+        self.runs.clear();
+        self.data.clear();
+        self.scatter.clear();
+    }
+}
+
+/// Recycled per-block working memory: shared-memory backing store,
+/// sanitizer shadow vectors, and the tracing phase log. Returned to the
+/// pool as soon as the block body finishes, so pooling holds no more live
+/// shared memory at once than the unpooled path does.
+#[derive(Debug, Default)]
+struct BlockScratch {
+    shared: Vec<f64>,
+    written: Vec<bool>,
+    exempt: Vec<bool>,
+    marks: Vec<(Phase, Counters)>,
+}
+
+/// Free lists of per-block scratch reused across blocks and launches.
+/// Mutexed for the parallel block loop; each block takes one lock on
+/// entry and one on exit, so contention is negligible next to a block
+/// body.
+#[derive(Debug, Default)]
+struct ScratchPool {
+    blocks: Mutex<Vec<BlockScratch>>,
+    logs: Mutex<Vec<WriteLog>>,
+}
+
+impl ScratchPool {
+    fn take_block(&self) -> BlockScratch {
+        self.blocks.lock().unwrap().pop().unwrap_or_default()
+    }
+
+    fn put_block(&self, scratch: BlockScratch) {
+        self.blocks.lock().unwrap().push(scratch);
+    }
+
+    fn take_log(&self, data_hint: usize) -> WriteLog {
+        self.logs.lock().unwrap().pop().unwrap_or_else(|| WriteLog {
+            runs: Vec::new(),
+            data: Vec::with_capacity(data_hint),
+            scatter: Vec::new(),
+        })
+    }
+
+    fn put_log(&self, mut log: WriteLog) {
+        log.clear();
+        self.logs.lock().unwrap().push(log);
+    }
 }
 
 /// Per-block execution outcome.
 struct BlockOutcome {
     counters: Counters,
-    writes: Vec<WriteRun>,
-    scatter_writes: Vec<(BufferId, usize, f64)>,
+    writes: WriteLog,
     /// Per-phase counter deltas (indexed by [`Phase::index`]); populated
     /// only when tracing is enabled.
     phases: Option<[Counters; PHASE_COUNT]>,
@@ -75,6 +153,15 @@ pub struct Device {
     sanitize: bool,
     /// Accumulated sanitizer findings while sanitizing.
     sanitizer: SanitizerReport,
+    /// Launch scratch pool (shared memory, shadow vectors, write logs)
+    /// reused across blocks and launches while `pooling` is on.
+    pool: ScratchPool,
+    /// Whether launches draw per-block state from the scratch pool and
+    /// retire write runs with bulk copies (on by default). Off = the
+    /// legacy fresh-allocation, element-by-element reference path.
+    pooling: bool,
+    /// Capacity hint (f64 elements) for freshly pooled write arenas.
+    write_hint: usize,
 }
 
 impl Device {
@@ -91,6 +178,9 @@ impl Device {
             trace: Trace::new(),
             sanitize: false,
             sanitizer: SanitizerReport::default(),
+            pool: ScratchPool::default(),
+            pooling: true,
+            write_hint: 0,
         }
     }
 
@@ -123,10 +213,44 @@ impl Device {
         self.global.buffer_len(id)
     }
 
+    /// Move a buffer's contents out of device memory without copying —
+    /// the zero-copy alternative to `download(id).to_vec()` for a final
+    /// result the device will not touch again. The handle stays valid but
+    /// the buffer is left empty.
+    pub fn take_buffer(&mut self, id: BufferId) -> Vec<f64> {
+        self.global.take(id)
+    }
+
     /// Reset the ledgers (buffers are kept).
     pub fn reset_counters(&mut self) {
         self.counters = Counters::default();
         self.launch_stats = LaunchStats::default();
+    }
+
+    // ---- Scratch pooling ----------------------------------------------
+
+    /// Enable or disable the launch scratch pool (on by default). While
+    /// on, per-block shared memory, sanitizer shadows, phase logs, and
+    /// write logs are recycled across blocks and launches, and buffered
+    /// write runs retire via bulk slice copies. While off, every block
+    /// allocates fresh state and writes retire element-by-element — the
+    /// legacy reference path the equivalence tests compare against.
+    /// Outputs, counters, traces, and sanitizer reports are bit-identical
+    /// either way.
+    pub fn set_scratch_pooling(&mut self, on: bool) {
+        self.pooling = on;
+    }
+
+    pub fn scratch_pooling(&self) -> bool {
+        self.pooling
+    }
+
+    /// Pre-size freshly pooled write arenas for about `elems` buffered
+    /// f64 per block. Callers that know their per-block output volume
+    /// (e.g. from a stencil plan's tile counts) set this once per kernel;
+    /// it is purely a capacity hint and never changes results.
+    pub fn set_write_hint(&mut self, elems: usize) {
+        self.write_hint = elems;
     }
 
     // ---- Tracing ------------------------------------------------------
@@ -288,23 +412,60 @@ impl Device {
         let fault_epoch = self.fault_epoch;
         let tracing = self.tracing;
         let sanitize = self.sanitize;
+        let pooling = self.pooling;
+        let write_hint = self.write_hint;
+        let pool = &self.pool;
         let mut outcomes: Vec<BlockOutcome> = (0..num_blocks)
             .into_par_iter()
             .map(|block_id| {
+                let mut scratch = if pooling {
+                    pool.take_block()
+                } else {
+                    BlockScratch::default()
+                };
+                let writes = if pooling {
+                    pool.take_log(write_hint)
+                } else {
+                    WriteLog::default()
+                };
                 let mut ctx = BlockCtx {
                     config: cfg,
                     global,
-                    shared: SharedMemory::new(shared_len, cfg.shared_banks as usize),
+                    shared: SharedMemory::recycle(
+                        std::mem::take(&mut scratch.shared),
+                        shared_len,
+                        cfg.shared_banks as usize,
+                    ),
                     counters: Counters::default(),
-                    writes: Vec::new(),
-                    scatter_writes: Vec::new(),
+                    writes,
                     fault: fault_plan
                         .map(|p| FaultState::new(p, fault_epoch, attempt, block_id as u64)),
-                    phase_marks: tracing.then(Vec::new),
-                    shadow: sanitize.then(|| ShadowState::new(shared_len, attempt, block_id)),
+                    phase_marks: tracing.then(|| {
+                        let mut marks = std::mem::take(&mut scratch.marks);
+                        marks.clear();
+                        marks
+                    }),
+                    shadow: sanitize.then(|| {
+                        ShadowState::recycle(
+                            std::mem::take(&mut scratch.written),
+                            std::mem::take(&mut scratch.exempt),
+                            shared_len,
+                            attempt,
+                            block_id,
+                        )
+                    }),
+                    frag_degrees: FragDegreeCache::default(),
                 };
                 kernel(block_id, &mut ctx);
-                let phases = ctx.phase_marks.take().map(|marks| {
+                let BlockCtx {
+                    shared,
+                    counters,
+                    writes,
+                    phase_marks,
+                    shadow,
+                    ..
+                } = ctx;
+                let phases = phase_marks.map(|marks| {
                     // Fold the switch log into per-phase deltas. Work
                     // before the first explicit switch is Uncategorized;
                     // counters are monotone, so the deltas sum exactly to
@@ -312,36 +473,66 @@ impl Device {
                     let mut per = [Counters::default(); PHASE_COUNT];
                     let mut prev_phase = Phase::Uncategorized;
                     let mut prev_snap = Counters::default();
-                    for (phase, snap) in marks {
+                    for &(phase, snap) in &marks {
                         per[prev_phase.index()] += snap.saturating_sub(&prev_snap);
                         prev_phase = phase;
                         prev_snap = snap;
                     }
-                    per[prev_phase.index()] += ctx.counters.saturating_sub(&prev_snap);
+                    per[prev_phase.index()] += counters.saturating_sub(&prev_snap);
+                    if pooling {
+                        scratch.marks = marks;
+                    }
                     per
                 });
+                let sanitizer = shadow.map(|shadow| {
+                    let (report, written, exempt) = shadow.into_parts();
+                    if pooling {
+                        scratch.written = written;
+                        scratch.exempt = exempt;
+                    }
+                    report
+                });
+                if pooling {
+                    scratch.shared = shared.into_data();
+                    pool.put_block(scratch);
+                }
                 BlockOutcome {
-                    counters: ctx.counters,
-                    writes: ctx.writes,
-                    scatter_writes: ctx.scatter_writes,
+                    counters,
+                    writes,
                     phases,
-                    sanitizer: ctx.shadow.take().map(ShadowState::into_report),
+                    sanitizer,
                 }
             })
             .collect();
 
         for outcome in &mut outcomes {
             self.counters += outcome.counters;
-            for run in &outcome.writes {
-                self.global.apply_writes(
-                    &run.vals
-                        .iter()
-                        .enumerate()
-                        .map(|(i, &v)| (run.buf, run.start + i, v))
-                        .collect::<Vec<_>>(),
-                );
+            let log = &outcome.writes;
+            if self.pooling {
+                // Bulk retirement: each run is a strictly consecutive
+                // address range, so one slice copy is observably identical
+                // to the per-element replay below.
+                for run in &log.runs {
+                    self.global.apply_run(
+                        run.buf,
+                        run.start,
+                        &log.data[run.off..run.off + run.len],
+                    );
+                }
+            } else {
+                // Reference retirement: element-by-element, exactly the
+                // legacy path the equivalence tests pin against.
+                for run in &log.runs {
+                    self.global.apply_writes(
+                        &log.data[run.off..run.off + run.len]
+                            .iter()
+                            .enumerate()
+                            .map(|(i, &v)| (run.buf, run.start + i, v))
+                            .collect::<Vec<_>>(),
+                    );
+                }
             }
-            self.global.apply_writes(&outcome.scatter_writes);
+            self.global.apply_writes(&log.scatter);
             if let Some(report) = outcome.sanitizer.take() {
                 self.sanitizer.merge(report);
             }
@@ -382,6 +573,11 @@ impl Device {
                 });
             }
         }
+        if self.pooling {
+            for outcome in outcomes {
+                self.pool.put_log(outcome.writes);
+            }
+        }
         Ok(())
     }
 
@@ -409,11 +605,9 @@ pub struct BlockCtx<'a> {
     pub shared: SharedMemory,
     /// This block's event ledger (merged into the device after the launch).
     pub counters: Counters,
-    writes: Vec<WriteRun>,
-    /// Single-element buffered writes (scattered stores) — kept separate
-    /// from [`WriteRun`] so a scattered warp write does not allocate one
-    /// vector per lane.
-    scatter_writes: Vec<(BufferId, usize, f64)>,
+    /// Buffered global writes: contiguous runs over one flat arena plus a
+    /// scatter list for lone elements (see [`WriteLog`]).
+    writes: WriteLog,
     /// Per-block fault stream (None when no plan is installed).
     fault: Option<FaultState>,
     /// Phase-switch log `(new phase, ledger snapshot at switch)`; `None`
@@ -422,6 +616,39 @@ pub struct BlockCtx<'a> {
     /// Sanitizer shadow of this block's shared memory; `None` when
     /// sanitizing is off, so the default path allocates nothing.
     shadow: Option<ShadowState>,
+    /// Memoized fragment bank-conflict degrees (see [`FragDegreeCache`]).
+    frag_degrees: FragDegreeCache,
+}
+
+/// Per-block memo of fragment-load conflict degrees, keyed by fragment
+/// shape and row stride. A fragment's addresses form an affine pattern
+/// `base + r * stride + c`; shifting `base` shifts every address equally,
+/// which only *rotates* the per-bank histogram, so the conflict degree of
+/// each 16-lane phase depends on `(shape, stride)` alone. A kernel uses a
+/// handful of strides, so a tiny fixed table makes repeat fragment loads
+/// skip the histogram entirely; on (unlikely) overflow the degree is just
+/// recomputed, producing identical counters either way.
+#[derive(Debug, Default, Clone, Copy)]
+struct FragDegreeCache {
+    /// `(is_b, stride, phase0 degree, phase1 degree)`.
+    entries: [(bool, usize, u32, u32); 8],
+    len: usize,
+}
+
+impl FragDegreeCache {
+    fn get(&self, is_b: bool, stride: usize) -> Option<(u32, u32)> {
+        self.entries[..self.len]
+            .iter()
+            .find(|&&(b, s, _, _)| b == is_b && s == stride)
+            .map(|&(_, _, d0, d1)| (d0, d1))
+    }
+
+    fn put(&mut self, is_b: bool, stride: usize, d0: u32, d1: u32) {
+        if self.len < self.entries.len() {
+            self.entries[self.len] = (is_b, stride, d0, d1);
+            self.len += 1;
+        }
+    }
 }
 
 impl BlockCtx<'_> {
@@ -504,10 +731,24 @@ impl BlockCtx<'_> {
     /// warp requests of 32 lanes. Returns the values.
     pub fn gmem_read_span(&mut self, buf: BufferId, start: usize, len: usize) -> Vec<f64> {
         let mut out = vec![0.0; len];
+        self.gmem_read_span_into(buf, start, &mut out);
+        out
+    }
+
+    /// Allocation-free [`BlockCtx::gmem_read_span`]: fills `out` from the
+    /// span `[start, start + out.len())`. Lanes past a sanitizer-clamped
+    /// overrun read as 0.0, exactly like the allocating variant.
+    pub fn gmem_read_span_into(&mut self, buf: BufferId, start: usize, out: &mut [f64]) {
+        let want = out.len();
         let safe_len = match &mut self.shadow {
-            Some(shadow) => shadow.check_global_span(self.global.buffer_len(buf), start, len, true),
-            None => len,
+            Some(shadow) => {
+                shadow.check_global_span(self.global.buffer_len(buf), start, want, true)
+            }
+            None => want,
         };
+        if safe_len < want {
+            out[safe_len..].fill(0.0);
+        }
         let len = safe_len;
         let mut addrs = [INACTIVE; 32];
         let mut lane_out = [0.0f64; 32];
@@ -527,7 +768,6 @@ impl BlockCtx<'_> {
             out[i..i + n].copy_from_slice(&lane_out[..n]);
             i += n;
         }
-        out
     }
 
     /// Warp-level global write of `vals` to `addrs` (same lane count).
@@ -567,13 +807,9 @@ impl BlockCtx<'_> {
                 j += 1;
             }
             if j == i + 1 {
-                self.scatter_writes.push((buf, start, vals[i]));
+                self.writes.scatter.push((buf, start, vals[i]));
             } else {
-                self.writes.push(WriteRun {
-                    buf,
-                    start,
-                    vals: vals[i..j].to_vec(),
-                });
+                self.writes.push_run(buf, start, &vals[i..j]);
             }
             i = j;
         }
@@ -602,11 +838,7 @@ impl BlockCtx<'_> {
             );
             i += n;
         }
-        self.writes.push(WriteRun {
-            buf,
-            start,
-            vals: vals.to_vec(),
-        });
+        self.writes.push_run(buf, start, vals);
     }
 
     // ---- Shared memory -------------------------------------------------
@@ -701,7 +933,11 @@ impl BlockCtx<'_> {
     pub fn load_frag_a(&mut self, base: usize, row_stride: usize) -> FragA {
         let addrs = FragA::load_addresses(base, row_stride);
         let mut vals = [0.0; 32];
-        self.checked_smem_load(&addrs, &mut vals);
+        if self.shadow.is_none() {
+            self.fast_frag_load(false, row_stride, &addrs, &mut vals);
+        } else {
+            self.checked_smem_load(&addrs, &mut vals);
+        }
         FragA { data: vals }
     }
 
@@ -709,8 +945,46 @@ impl BlockCtx<'_> {
     pub fn load_frag_b(&mut self, base: usize, row_stride: usize) -> FragB {
         let addrs = FragB::load_addresses(base, row_stride);
         let mut vals = [0.0; 32];
-        self.checked_smem_load(&addrs, &mut vals);
+        if self.shadow.is_none() {
+            self.fast_frag_load(true, row_stride, &addrs, &mut vals);
+        } else {
+            self.checked_smem_load(&addrs, &mut vals);
+        }
         FragB { data: vals }
+    }
+
+    /// Fragment load with the conflict degrees served from
+    /// [`FragDegreeCache`]: charges exactly what [`SharedMemory::load`]
+    /// would (two 16-lane phases per 32-lane fragment) without rerunning
+    /// the per-bank histogram. Only used when the sanitizer is off — the
+    /// shadow-checked path needs the full per-address walk anyway.
+    fn fast_frag_load(
+        &mut self,
+        is_b: bool,
+        stride: usize,
+        addrs: &[usize; 32],
+        out: &mut [f64; 32],
+    ) {
+        let (d0, d1) = match self.frag_degrees.get(is_b, stride) {
+            Some(d) => d,
+            None => {
+                let d0 = self
+                    .shared
+                    .phase_conflict_degree(&addrs[..crate::shared::F64_PHASE_LANES]);
+                let d1 = self
+                    .shared
+                    .phase_conflict_degree(&addrs[crate::shared::F64_PHASE_LANES..]);
+                self.frag_degrees.put(is_b, stride, d0, d1);
+                (d0, d1)
+            }
+        };
+        self.counters.shared_read_requests += 2;
+        self.counters.shared_read_conflicts += (d0 - 1) as u64 + (d1 - 1) as u64;
+        self.counters.shared_read_bytes += 8 * addrs.len() as u64;
+        let data = self.shared.raw();
+        for (o, &a) in out.iter_mut().zip(addrs) {
+            *o = data[a];
+        }
     }
 
     // ---- Compute -------------------------------------------------------
@@ -916,6 +1190,94 @@ mod tests {
         assert_eq!(trace.len(), 1);
         assert_eq!(trace.spans[0].phase, Phase::LaunchFault);
         assert_eq!(trace.total_counters(), dev.counters);
+    }
+
+    #[test]
+    fn pooled_and_unpooled_launches_match_bitwise() {
+        // One kernel exercising span writes, gappy warp writes (runs +
+        // scatters), shared memory, phases, and faults — run on the pooled
+        // fast path and the legacy reference path. Everything observable
+        // must be bit-identical.
+        let run = |pooling: bool| {
+            let mut dev = Device::a100();
+            dev.set_scratch_pooling(pooling);
+            dev.set_tracing(true);
+            dev.set_sanitizer(true);
+            dev.set_fault_plan(Some(FaultPlan::quiet(3).with_smem_corrupt_rate(0.2)));
+            let src = dev.alloc_from(&(0..256).map(|i| i as f64 * 0.5).collect::<Vec<_>>());
+            let dst = dev.alloc(512);
+            for _ in 0..3 {
+                dev.launch(8, 128, |block, ctx| {
+                    ctx.phase(Phase::SmemScatter);
+                    let vals = ctx.gmem_read_span(src, block * 32, 32);
+                    let addrs: Vec<usize> = (0..32).collect();
+                    ctx.smem_store(&addrs, &vals);
+                    ctx.phase(Phase::Epilogue);
+                    let mut out = [0.0; 32];
+                    ctx.smem_load(&addrs, &mut out);
+                    ctx.gmem_write_span(dst, block * 64, &out);
+                    // Gappy warp write: runs of 2 + lone scatters.
+                    let waddrs = [
+                        block * 64 + 40,
+                        block * 64 + 41,
+                        INACTIVE,
+                        block * 64 + 50,
+                        INACTIVE,
+                        block * 64 + 52,
+                    ];
+                    let wvals = [1.0, 2.0, 0.0, 3.0, 0.0, 4.0];
+                    ctx.gmem_write_warp(dst, &waddrs, &wvals);
+                });
+            }
+            let out: Vec<u64> = dev.download(dst).iter().map(|v| v.to_bits()).collect();
+            let mut trace = dev.take_trace();
+            for span in &mut trace.spans {
+                // Wall time is host clock noise, not part of the
+                // bit-exactness contract (counters/modeled time are).
+                span.wall_ns = 0;
+            }
+            (out, dev.counters, trace, dev.take_sanitizer_report())
+        };
+        let pooled = run(true);
+        let reference = run(false);
+        assert_eq!(pooled.0, reference.0, "outputs differ");
+        assert_eq!(pooled.1, reference.1, "counters differ");
+        assert_eq!(pooled.2, reference.2, "traces differ");
+        assert_eq!(pooled.3, reference.3, "sanitizer reports differ");
+    }
+
+    #[test]
+    fn overlapping_writes_retire_in_block_order_when_pooled() {
+        for pooling in [true, false] {
+            let mut dev = Device::a100();
+            dev.set_scratch_pooling(pooling);
+            let dst = dev.alloc(8);
+            dev.launch(4, 16, |block, ctx| {
+                ctx.gmem_write_span(dst, 0, &[block as f64; 4]);
+            });
+            // Later blocks retire later: block 3 wins.
+            assert_eq!(dev.download(dst)[..4], [3.0; 4]);
+        }
+    }
+
+    #[test]
+    fn take_buffer_moves_contents_out() {
+        let mut dev = Device::a100();
+        let buf = dev.alloc_from(&[4.0, 5.0]);
+        assert_eq!(dev.take_buffer(buf), vec![4.0, 5.0]);
+        assert_eq!(dev.buffer_len(buf), 0);
+    }
+
+    #[test]
+    fn read_span_into_matches_allocating_span() {
+        let mut dev = Device::a100();
+        let src = dev.alloc_from(&(0..64).map(|i| i as f64).collect::<Vec<_>>());
+        dev.launch(1, 16, |_, ctx| {
+            let owned = ctx.gmem_read_span(src, 3, 40);
+            let mut reused = vec![9.9; 40];
+            ctx.gmem_read_span_into(src, 3, &mut reused);
+            assert_eq!(owned, reused);
+        });
     }
 
     #[test]

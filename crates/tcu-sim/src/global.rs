@@ -71,18 +71,29 @@ impl GlobalMemory {
         is_read: bool,
     ) -> (u64, u64, u64) {
         debug_assert!(addrs.len() <= 32, "a warp has at most 32 lanes");
-        let mut sectors: Vec<usize> = addrs
-            .iter()
-            .filter(|&&a| a != INACTIVE)
-            .map(|&a| a / sector_f64)
-            .collect();
-        let active = sectors.len() as u64;
+        // A warp is at most 32 lanes, so the sector set fits a stack
+        // array — this path runs once per global request and must not
+        // allocate.
+        let mut sectors = [0usize; 32];
+        let mut n = 0usize;
+        for &a in addrs {
+            if a != INACTIVE {
+                sectors[n] = a / sector_f64;
+                n += 1;
+            }
+        }
+        let active = n as u64;
         if active == 0 {
             return (0, 0, 0);
         }
+        let sectors = &mut sectors[..n];
         sectors.sort_unstable();
-        sectors.dedup();
-        let n_sectors = sectors.len() as u64;
+        let mut n_sectors = 1u64;
+        for i in 1..sectors.len() {
+            if sectors[i] != sectors[i - 1] {
+                n_sectors += 1;
+            }
+        }
         let min_sectors = active.div_ceil(sector_f64 as u64);
         let bytes = 8 * active;
         if is_read {
@@ -129,6 +140,21 @@ impl GlobalMemory {
         for &(id, addr, v) in writes {
             self.buffers[id.0][addr] = v;
         }
+    }
+
+    /// Apply one contiguous run of buffered writes as a single bulk copy —
+    /// the launch-retire fast path. A run's addresses are strictly
+    /// consecutive, so this is observably identical to applying the run
+    /// element-by-element via [`GlobalMemory::apply_writes`].
+    pub(crate) fn apply_run(&mut self, id: BufferId, start: usize, vals: &[f64]) {
+        self.buffers[id.0][start..start + vals.len()].copy_from_slice(vals);
+    }
+
+    /// Move a buffer's contents out without copying (zero-copy download).
+    /// The handle stays valid but the buffer is left empty; any further
+    /// device access through it is a caller bug.
+    pub fn take(&mut self, id: BufferId) -> Vec<f64> {
+        std::mem::take(&mut self.buffers[id.0])
     }
 
     /// Account a warp-level write (values are buffered by the caller until
@@ -238,5 +264,31 @@ mod tests {
         let id = g.alloc(4);
         g.apply_writes(&[(id, 1, 5.0), (id, 1, 7.0)]);
         assert_eq!(g.download(id)[1], 7.0);
+    }
+
+    #[test]
+    fn apply_run_matches_elementwise_apply() {
+        let mut bulk = GlobalMemory::new();
+        let mut elem = GlobalMemory::new();
+        let b = bulk.alloc(8);
+        let e = elem.alloc(8);
+        let vals = [1.5, 2.5, 3.5];
+        bulk.apply_run(b, 2, &vals);
+        elem.apply_writes(
+            &vals
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (e, 2 + i, v))
+                .collect::<Vec<_>>(),
+        );
+        assert_eq!(bulk.download(b), elem.download(e));
+    }
+
+    #[test]
+    fn take_moves_contents_out() {
+        let mut g = GlobalMemory::new();
+        let id = g.alloc_from(&[1.0, 2.0]);
+        assert_eq!(g.take(id), vec![1.0, 2.0]);
+        assert_eq!(g.buffer_len(id), 0);
     }
 }

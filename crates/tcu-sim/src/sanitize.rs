@@ -232,6 +232,31 @@ impl ShadowState {
         }
     }
 
+    /// [`ShadowState::new`] over recycled shadow vectors (the launch
+    /// scratch-pool path). The vectors are cleared and re-sized to all
+    /// `false`, so a recycled shadow behaves bit-identically to a fresh
+    /// one — only the two allocations are saved.
+    pub fn recycle(
+        mut written: Vec<bool>,
+        mut exempt: Vec<bool>,
+        shared_len: usize,
+        launch: u64,
+        block: usize,
+    ) -> Self {
+        written.clear();
+        written.resize(shared_len, false);
+        exempt.clear();
+        exempt.resize(shared_len, false);
+        Self {
+            written,
+            exempt,
+            phase: Phase::Uncategorized,
+            launch,
+            block,
+            report: SanitizerReport::default(),
+        }
+    }
+
     /// Currently active execution phase (mirrors [`crate::BlockCtx::phase`]).
     pub fn phase(&self) -> Phase {
         self.phase
@@ -403,6 +428,12 @@ impl ShadowState {
     pub fn into_report(self) -> SanitizerReport {
         self.report
     }
+
+    /// Consume the shadow, yielding the report plus the shadow vectors so
+    /// the launch scratch pool can recycle them.
+    pub fn into_parts(self) -> (SanitizerReport, Vec<bool>, Vec<bool>) {
+        (self.report, self.written, self.exempt)
+    }
 }
 
 #[cfg(test)]
@@ -526,6 +557,25 @@ mod tests {
         assert_eq!(total.violations.len(), MAX_RECORDED_VIOLATIONS);
         assert!(!total.is_clean());
         assert!(total.render().contains("initcheck 80"));
+    }
+
+    #[test]
+    fn recycled_shadow_matches_fresh() {
+        // Dirty a shadow thoroughly, then recycle its vectors into a new
+        // (larger) shadow and re-run an access sequence next to a fresh
+        // shadow: the reports must match exactly.
+        let (mut dirty, m) = shadow(16);
+        dirty.exempt_range(0, 16);
+        dirty.check_store(&m, &[0, 1, 2, 3], &[1.0; 4]);
+        let (_, written, exempt) = dirty.into_parts();
+        let mut recycled = ShadowState::recycle(written, exempt, 32, 7, 3);
+        let (mut fresh, m32) = (ShadowState::new(32, 7, 3), SharedMemory::new(32, 32));
+        for s in [&mut recycled, &mut fresh] {
+            s.check_store(&m32, &[4, 5], &[1.0, 2.0]);
+            s.check_load(&m32, &[4, 5, 6]); // one initcheck at 6
+        }
+        assert_eq!(recycled.report, fresh.report);
+        assert_eq!(recycled.report.init_total, 1);
     }
 
     #[test]

@@ -17,6 +17,10 @@ use crate::counters::Counters;
 /// Lanes per conflict-check phase for f64 traffic (see module docs).
 pub const F64_PHASE_LANES: usize = 16;
 
+/// Largest bank count served by the allocation-free conflict-degree fast
+/// path (every real configuration: A100 has 32 banks).
+const MAX_FAST_BANKS: usize = 64;
+
 /// Byte-addressed banked shared memory holding f64 elements.
 #[derive(Debug, Clone)]
 pub struct SharedMemory {
@@ -35,6 +39,22 @@ impl SharedMemory {
             data: vec![0.0; len],
             banks,
         }
+    }
+
+    /// [`SharedMemory::new`] over a recycled backing vector (the launch
+    /// scratch-pool path). The vector is cleared, resized, and re-zeroed,
+    /// so a recycled shared memory is bit-identical to a fresh one — only
+    /// the allocation is saved.
+    pub fn recycle(mut data: Vec<f64>, len: usize, banks: usize) -> Self {
+        assert!(banks.is_power_of_two(), "bank count must be a power of two");
+        data.clear();
+        data.resize(len, 0.0);
+        Self { data, banks }
+    }
+
+    /// Surrender the backing vector (capacity preserved) for pooling.
+    pub fn into_data(self) -> Vec<f64> {
+        self.data
     }
 
     /// Capacity in f64 elements.
@@ -67,7 +87,31 @@ impl SharedMemory {
             return 1;
         }
         // Distinct-address filter: broadcasts don't conflict. Lane counts
-        // are tiny (<=16) so a linear scan beats hashing.
+        // are tiny (<=16) so a linear scan beats hashing. Phases and bank
+        // counts fit fixed arrays on real configurations, keeping this
+        // hot path allocation-free; oversized inputs take a general path.
+        if phase.len() <= F64_PHASE_LANES && self.banks <= MAX_FAST_BANKS {
+            let mut distinct = [0usize; F64_PHASE_LANES];
+            let mut nd = 0usize;
+            for &a in phase {
+                if !distinct[..nd].contains(&a) {
+                    distinct[nd] = a;
+                    nd += 1;
+                }
+            }
+            let mut per_bank = [0u32; MAX_FAST_BANKS];
+            for &a in &distinct[..nd] {
+                for w in [2 * a, 2 * a + 1] {
+                    per_bank[w % self.banks] += 1;
+                }
+            }
+            return per_bank[..self.banks]
+                .iter()
+                .copied()
+                .max()
+                .unwrap_or(1)
+                .max(1);
+        }
         let mut distinct: Vec<usize> = Vec::with_capacity(phase.len());
         for &a in phase {
             if !distinct.contains(&a) {
@@ -280,5 +324,31 @@ mod tests {
     #[test]
     fn empty_phase_degree_is_one() {
         assert_eq!(mem().phase_conflict_degree(&[]), 1);
+    }
+
+    #[test]
+    fn recycle_matches_fresh_allocation() {
+        let mut m = SharedMemory::new(64, 32);
+        let mut c = Counters::default();
+        m.store(&mut c, &[0, 1, 2], &[9.0, 8.0, 7.0]);
+        // Recycle into a *larger* shared memory: every word must read as
+        // zero, exactly like a fresh allocation.
+        let recycled = SharedMemory::recycle(m.into_data(), 128, 32);
+        let fresh = SharedMemory::new(128, 32);
+        assert_eq!(recycled.raw(), fresh.raw());
+        assert_eq!(recycled.len(), 128);
+        // And into a smaller one.
+        let small = SharedMemory::recycle(recycled.into_data(), 16, 32);
+        assert_eq!(small.raw(), SharedMemory::new(16, 32).raw());
+    }
+
+    #[test]
+    fn degree_fast_path_matches_general_path() {
+        // Exercise a phase longer than F64_PHASE_LANES (general path) and
+        // its 16-lane prefix (fast path) against hand-computed degrees.
+        let m = mem();
+        let long: Vec<usize> = (0..32).map(|i| i * 16).collect();
+        assert_eq!(m.phase_conflict_degree(&long), 32);
+        assert_eq!(m.phase_conflict_degree(&long[..16]), 16);
     }
 }
