@@ -23,6 +23,8 @@ use convstencil::{
     ConvStencil1D, ConvStencil2D, ConvStencil3D, ConvStencilError, Exec1D, Exec2D, Exec3D, Profile,
     RunReport, VariantConfig,
 };
+pub mod runtime_cmd;
+pub use runtime_cmd::{main_resume, main_run, EXIT_ARTIFACT_READ};
 use std::path::PathBuf;
 use stencil_core::{Grid1D, Grid2D, Grid3D, Kernel1D, Kernel2D, Kernel3D, Shape};
 use tcu_sim::{CostModel, DeviceConfig, LaunchStats, Trace};
@@ -171,7 +173,10 @@ pub fn usage(dim: usize) -> String {
          options:\n  --help       print this help\n  --custom w.. custom stencil kernel weights\n  --breakdown  per-optimization breakdown (Fig. 6 variants)\n  --quick      cap the simulated grid (results projected to the full size)\n  --profile    print the per-phase profile of each measured run\n  --trace FILE export the measured run's span trace as JSONL\n  --sanitize   run under the stencil sanitizer (static plan verification\n\x20              + dynamic shadow-memory checks; nonzero exit on findings)\n\
          the check subcommand verifies the plan statically (Conflicts-Removal\n\
          properties: LUT totality/injectivity, dirty bits in padding, weight\n\
-         band structure, conflict-free banking) and exits without running."
+         band structure, conflict-free banking) and exits without running.\n\
+         the run / resume subcommands execute on the resilient multi-device\n\
+         runtime (checkpoint/restart, circuit breakers, deadlines); see\n\
+         `convstencil_{dim}d run --help`."
     )
 }
 
@@ -436,11 +441,17 @@ pub fn try_run_check(args: &CliArgs) -> Result<bool, ConvStencilError> {
     Ok(all_ok)
 }
 
-/// Shared binary entry point: parse argv, dispatch the `check`
-/// subcommand vs. a run, and return the process exit code — `0` on
-/// success, `1` on a pipeline error, a rejected plan, or sanitizer
-/// findings, `2` on a usage error.
+/// Shared binary entry point: parse argv, dispatch the `check`, `run`,
+/// and `resume` subcommands vs. a one-shot run, and return the process
+/// exit code — `0` on success, `1` on a pipeline error, a rejected
+/// plan, or sanitizer findings, `2` on a usage error, `3` on corrupt or
+/// unreadable checkpoint state (see [`runtime_cmd`]).
 pub fn main_for(dim: usize, argv: &[String]) -> i32 {
+    match argv.first().map(String::as_str) {
+        Some("run") => return main_run(dim, &argv[1..]),
+        Some("resume") => return main_resume(dim, &argv[1..]),
+        _ => {}
+    }
     let args = match parse_args(dim, argv) {
         Ok(a) => a,
         Err(msg) => {

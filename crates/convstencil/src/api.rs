@@ -166,8 +166,10 @@ fn mix64(mut z: u64) -> u64 {
 }
 
 /// Compare `got` against `want` on the configured sample tiles (or in
-/// full), reporting the first offending flat interior index.
-fn check_samples(got: &[f64], want: &[f64], cfg: &VerifyConfig) -> Result<(), VerifyError> {
+/// full), reporting the first offending flat interior index. Public so
+/// the multi-device runtime can reuse the exact verification the
+/// single-device verified path applies.
+pub fn check_samples(got: &[f64], want: &[f64], cfg: &VerifyConfig) -> Result<(), VerifyError> {
     if got.len() != want.len() {
         return Err(VerifyError::LengthMismatch {
             left: got.len(),
@@ -223,6 +225,7 @@ impl ConvStencil2D {
     }
 
     /// Fallible twin of [`ConvStencil2D::new`].
+    #[must_use = "the runner is the only handle to the planned pipeline; check the Err for why planning failed"]
     pub fn try_new(kernel: Kernel2D) -> Result<Self, ConvStencilError> {
         let fusion = auto_fusion_degree(kernel.radius(), MAX_NK);
         Self::try_with_fusion(kernel, fusion)
@@ -234,6 +237,7 @@ impl ConvStencil2D {
     }
 
     /// Fallible twin of [`ConvStencil2D::with_fusion`].
+    #[must_use = "the runner is the only handle to the planned pipeline; check the Err for why planning failed"]
     pub fn try_with_fusion(kernel: Kernel2D, fusion: usize) -> Result<Self, ConvStencilError> {
         if fusion < 1 {
             return Err(ConvStencilError::PlanInvariant {
@@ -333,16 +337,65 @@ impl ConvStencil2D {
         &self.kernel
     }
 
+    /// The optimization variant this runner executes.
+    pub fn variant(&self) -> VariantConfig {
+        self.variant
+    }
+
+    /// The configured boundary condition.
+    pub fn boundary(&self) -> Boundary {
+        self.boundary
+    }
+
+    /// Build a device configured exactly like this runner's own implicit
+    /// device (tracing, sanitizer, scratch pooling), but with an explicit
+    /// fault-plan override. The multi-device runtime uses this to give
+    /// every pool slot an independent [`FaultPlan`] and health state.
+    pub fn pool_device(&self, fault: Option<FaultPlan>) -> Device {
+        let mut dev = self.make_device();
+        dev.set_fault_plan(fault);
+        dev
+    }
+
+    /// Advance `steps` on a caller-owned device; counters accumulate on
+    /// that device's ledger. Grid-shape validation matches
+    /// [`ConvStencil2D::try_run`]; the device pool's job loop drives pool
+    /// slots through this entry point so one device can serve many chunks
+    /// and jobs.
+    #[must_use = "dropping the result discards the advanced grid and any error"]
+    pub fn try_run_on_device(
+        &self,
+        dev: &mut Device,
+        grid: &Grid2D,
+        steps: usize,
+    ) -> Result<Grid2D, ConvStencilError> {
+        let (m, n) = (grid.rows(), grid.cols());
+        if m == 0 || n == 0 {
+            return Err(ConvStencilError::ZeroSizedGrid { dims: vec![m, n] });
+        }
+        self.try_run_on(dev, grid, steps)
+    }
+
+    /// CPU ground truth for `steps` time steps, mirroring the device
+    /// decomposition exactly (same fusion split, same frozen-halo
+    /// semantics). Public as the runtime's degrade-to-reference backend.
+    #[must_use = "the reference result is the whole point of calling this"]
+    pub fn run_reference(&self, grid: &Grid2D, steps: usize) -> Grid2D {
+        self.reference_run(grid, steps)
+    }
+
     /// Advance `steps` time steps; returns the result grid and the report.
     ///
     /// Kernel fusion is a Tensor-Core densification technique (§3.3,
     /// Fig. 4), so the CUDA-core breakdown variants (I/II) run unfused —
     /// fusing would only inflate their FLOP count.
+    #[must_use = "dropping the result discards the advanced grid and the run report"]
     pub fn run(&self, grid: &Grid2D, steps: usize) -> (Grid2D, RunReport) {
         self.try_run(grid, steps).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Fallible twin of [`ConvStencil2D::run`].
+    #[must_use = "dropping the result discards the advanced grid, the run report, and any error"]
     pub fn try_run(
         &self,
         grid: &Grid2D,
@@ -359,6 +412,7 @@ impl ConvStencil2D {
     }
 
     /// [`ConvStencil2D::try_run_verified`] that panics on error.
+    #[must_use = "dropping the result discards the advanced grid and the run report"]
     pub fn run_verified(&self, grid: &Grid2D, steps: usize) -> (Grid2D, RunReport) {
         self.try_run_verified(grid, steps)
             .unwrap_or_else(|e| panic!("{e}"))
@@ -369,6 +423,7 @@ impl ConvStencil2D {
     /// are retried (under a fresh fault epoch), and if every retry is
     /// corrupted the reference result itself is returned with
     /// `report.degraded = true`.
+    #[must_use = "dropping the result discards the advanced grid, the run report, and any error"]
     pub fn try_run_verified(
         &self,
         grid: &Grid2D,
@@ -378,6 +433,7 @@ impl ConvStencil2D {
     }
 
     /// Verified execution with an explicit [`VerifyConfig`].
+    #[must_use = "dropping the result discards the advanced grid, the run report, and any error"]
     pub fn try_run_verified_with(
         &self,
         grid: &Grid2D,
@@ -559,6 +615,7 @@ impl ConvStencil1D {
     }
 
     /// Fallible twin of [`ConvStencil1D::new`].
+    #[must_use = "the runner is the only handle to the planned pipeline; check the Err for why planning failed"]
     pub fn try_new(kernel: Kernel1D) -> Result<Self, ConvStencilError> {
         let fusion = auto_fusion_degree(kernel.radius(), MAX_NK);
         Self::try_with_fusion(kernel, fusion)
@@ -569,6 +626,7 @@ impl ConvStencil1D {
     }
 
     /// Fallible twin of [`ConvStencil1D::with_fusion`].
+    #[must_use = "the runner is the only handle to the planned pipeline; check the Err for why planning failed"]
     pub fn try_with_fusion(kernel: Kernel1D, fusion: usize) -> Result<Self, ConvStencilError> {
         if fusion < 1 {
             return Err(ConvStencilError::PlanInvariant {
@@ -646,13 +704,60 @@ impl ConvStencil1D {
         &self.fused
     }
 
+    /// The unfused kernel this runner was planned from.
+    pub fn base_kernel(&self) -> &Kernel1D {
+        &self.kernel
+    }
+
+    /// The optimization variant this runner executes.
+    pub fn variant(&self) -> VariantConfig {
+        self.variant
+    }
+
+    /// The configured boundary condition.
+    pub fn boundary(&self) -> Boundary {
+        self.boundary
+    }
+
+    /// Build a pool-slot device (see [`ConvStencil2D::pool_device`]).
+    pub fn pool_device(&self, fault: Option<FaultPlan>) -> Device {
+        let mut dev = self.make_device();
+        dev.set_fault_plan(fault);
+        dev
+    }
+
+    /// Advance `steps` on a caller-owned device (see
+    /// [`ConvStencil2D::try_run_on_device`]).
+    #[must_use = "dropping the result discards the advanced grid and any error"]
+    pub fn try_run_on_device(
+        &self,
+        dev: &mut Device,
+        grid: &Grid1D,
+        steps: usize,
+    ) -> Result<Grid1D, ConvStencilError> {
+        let n = grid.len();
+        if n == 0 {
+            return Err(ConvStencilError::ZeroSizedGrid { dims: vec![n] });
+        }
+        self.try_run_on(dev, grid, steps)
+    }
+
+    /// CPU ground truth mirroring the device decomposition (see
+    /// [`ConvStencil2D::run_reference`]).
+    #[must_use = "the reference result is the whole point of calling this"]
+    pub fn run_reference(&self, grid: &Grid1D, steps: usize) -> Grid1D {
+        self.reference_run(grid, steps)
+    }
+
     /// Advance `steps` time steps (see [`ConvStencil2D::run`] on fusion
     /// and CUDA-core variants).
+    #[must_use = "dropping the result discards the advanced grid and the run report"]
     pub fn run(&self, grid: &Grid1D, steps: usize) -> (Grid1D, RunReport) {
         self.try_run(grid, steps).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Fallible twin of [`ConvStencil1D::run`].
+    #[must_use = "dropping the result discards the advanced grid, the run report, and any error"]
     pub fn try_run(
         &self,
         grid: &Grid1D,
@@ -669,12 +774,14 @@ impl ConvStencil1D {
     }
 
     /// [`ConvStencil1D::try_run_verified`] that panics on error.
+    #[must_use = "dropping the result discards the advanced grid and the run report"]
     pub fn run_verified(&self, grid: &Grid1D, steps: usize) -> (Grid1D, RunReport) {
         self.try_run_verified(grid, steps)
             .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Verified execution (see [`ConvStencil2D::try_run_verified`]).
+    #[must_use = "dropping the result discards the advanced grid, the run report, and any error"]
     pub fn try_run_verified(
         &self,
         grid: &Grid1D,
@@ -684,6 +791,7 @@ impl ConvStencil1D {
     }
 
     /// Verified execution with an explicit [`VerifyConfig`].
+    #[must_use = "dropping the result discards the advanced grid, the run report, and any error"]
     pub fn try_run_verified_with(
         &self,
         grid: &Grid1D,
@@ -859,6 +967,7 @@ impl ConvStencil3D {
     }
 
     /// Fallible twin of [`ConvStencil3D::new`].
+    #[must_use = "the runner is the only handle to the planned pipeline; check the Err for why planning failed"]
     pub fn try_new(kernel: Kernel3D) -> Result<Self, ConvStencilError> {
         if kernel.nk() > MAX_NK {
             return Err(ConvStencilError::UnsupportedNk { nk: kernel.nk() });
@@ -916,11 +1025,60 @@ impl ConvStencil3D {
         self
     }
 
+    /// The kernel this runner was planned from (3D has no fusion, so the
+    /// planned and executed kernels coincide).
+    pub fn base_kernel(&self) -> &Kernel3D {
+        &self.kernel
+    }
+
+    /// The optimization variant this runner executes.
+    pub fn variant(&self) -> VariantConfig {
+        self.variant
+    }
+
+    /// The configured boundary condition.
+    pub fn boundary(&self) -> Boundary {
+        self.boundary
+    }
+
+    /// Build a pool-slot device (see [`ConvStencil2D::pool_device`]).
+    pub fn pool_device(&self, fault: Option<FaultPlan>) -> Device {
+        let mut dev = self.make_device();
+        dev.set_fault_plan(fault);
+        dev
+    }
+
+    /// Advance `steps` on a caller-owned device (see
+    /// [`ConvStencil2D::try_run_on_device`]).
+    #[must_use = "dropping the result discards the advanced grid and any error"]
+    pub fn try_run_on_device(
+        &self,
+        dev: &mut Device,
+        grid: &Grid3D,
+        steps: usize,
+    ) -> Result<Grid3D, ConvStencilError> {
+        let (d, m, n) = (grid.depth(), grid.rows(), grid.cols());
+        if d == 0 || m == 0 || n == 0 {
+            return Err(ConvStencilError::ZeroSizedGrid {
+                dims: vec![d, m, n],
+            });
+        }
+        self.try_run_on(dev, grid, steps)
+    }
+
+    /// CPU ground truth (see [`ConvStencil2D::run_reference`]).
+    #[must_use = "the reference result is the whole point of calling this"]
+    pub fn run_reference(&self, grid: &Grid3D, steps: usize) -> Grid3D {
+        self.reference_run(grid, steps)
+    }
+
+    #[must_use = "dropping the result discards the advanced grid and the run report"]
     pub fn run(&self, grid: &Grid3D, steps: usize) -> (Grid3D, RunReport) {
         self.try_run(grid, steps).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Fallible twin of [`ConvStencil3D::run`].
+    #[must_use = "dropping the result discards the advanced grid, the run report, and any error"]
     pub fn try_run(
         &self,
         grid: &Grid3D,
@@ -939,12 +1097,14 @@ impl ConvStencil3D {
     }
 
     /// [`ConvStencil3D::try_run_verified`] that panics on error.
+    #[must_use = "dropping the result discards the advanced grid and the run report"]
     pub fn run_verified(&self, grid: &Grid3D, steps: usize) -> (Grid3D, RunReport) {
         self.try_run_verified(grid, steps)
             .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Verified execution (see [`ConvStencil2D::try_run_verified`]).
+    #[must_use = "dropping the result discards the advanced grid, the run report, and any error"]
     pub fn try_run_verified(
         &self,
         grid: &Grid3D,
@@ -954,6 +1114,7 @@ impl ConvStencil3D {
     }
 
     /// Verified execution with an explicit [`VerifyConfig`].
+    #[must_use = "dropping the result discards the advanced grid, the run report, and any error"]
     pub fn try_run_verified_with(
         &self,
         grid: &Grid3D,

@@ -48,10 +48,48 @@ pub enum ConvStencilError {
     /// Carries the rendered I/O error (the enum is `Clone + PartialEq`,
     /// which `std::io::Error` is not).
     ArtifactWrite { path: String, reason: String },
+    /// Reading a required artifact (checkpoint file, ...) failed: missing,
+    /// unreadable, truncated, or failing its checksum. The `ArtifactWrite`
+    /// twin for the load path; `reason` carries the rendered cause.
+    ArtifactRead { path: String, reason: String },
+    /// A runtime job exceeded its time budget and was cancelled between
+    /// timesteps (never mid-launch, so the last checkpoint stays valid).
+    DeadlineExceeded {
+        kind: DeadlineKind,
+        /// The configured budget, in milliseconds.
+        budget_ms: u64,
+        /// The observed (wall or modelled) time when the deadline tripped.
+        observed_ms: u64,
+        /// Timesteps completed — and checkpointed, if checkpointing is on —
+        /// before cancellation.
+        completed_steps: u64,
+    },
+    /// The runtime's bounded job queue rejected a submission (admission
+    /// control: reject-with-error beyond capacity, never unbounded growth).
+    QueueFull { capacity: usize },
     /// The simulated device rejected a launch.
     Device(DeviceError),
     /// Verified execution detected corruption that retries did not clear.
     VerificationFailed { retries: u64, source: VerifyError },
+}
+
+/// Which clock a [`ConvStencilError::DeadlineExceeded`] was measured on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeadlineKind {
+    /// Host wall-clock elapsed time.
+    Wall,
+    /// Cost-model (Eq. 2) accumulated modelled time — deterministic, so
+    /// tests and simulated hangs use this budget.
+    CostModel,
+}
+
+impl fmt::Display for DeadlineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeadlineKind::Wall => write!(f, "wall-clock"),
+            DeadlineKind::CostModel => write!(f, "cost-model"),
+        }
+    }
 }
 
 impl fmt::Display for ConvStencilError {
@@ -101,6 +139,22 @@ impl fmt::Display for ConvStencilError {
             ConvStencilError::ArtifactWrite { path, reason } => {
                 write!(f, "cannot write artifact {path}: {reason}")
             }
+            ConvStencilError::ArtifactRead { path, reason } => {
+                write!(f, "cannot read artifact {path}: {reason}")
+            }
+            ConvStencilError::DeadlineExceeded {
+                kind,
+                budget_ms,
+                observed_ms,
+                completed_steps,
+            } => write!(
+                f,
+                "{kind} deadline exceeded: {observed_ms} ms > budget {budget_ms} ms \
+                 ({completed_steps} timesteps completed)"
+            ),
+            ConvStencilError::QueueFull { capacity } => {
+                write!(f, "job queue full (capacity {capacity})")
+            }
             ConvStencilError::Device(e) => write!(f, "device fault: {e}"),
             ConvStencilError::VerificationFailed { retries, source } => {
                 write!(f, "verification failed after {retries} retries: {source}")
@@ -145,5 +199,28 @@ mod tests {
         let e: ConvStencilError = d.clone().into();
         assert_eq!(e, ConvStencilError::Device(d));
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn runtime_variants_render_their_context() {
+        let e = ConvStencilError::DeadlineExceeded {
+            kind: DeadlineKind::CostModel,
+            budget_ms: 10,
+            observed_ms: 25,
+            completed_steps: 4,
+        };
+        let s = e.to_string();
+        assert!(s.contains("cost-model"), "{s}");
+        assert!(s.contains("25 ms > budget 10 ms"), "{s}");
+        assert!(s.contains("4 timesteps"), "{s}");
+        let e = ConvStencilError::QueueFull { capacity: 2 };
+        assert!(e.to_string().contains("capacity 2"));
+        let e = ConvStencilError::ArtifactRead {
+            path: "ckpt/x".into(),
+            reason: "checksum mismatch".into(),
+        };
+        assert!(e.to_string().contains("cannot read artifact ckpt/x"));
+        // Leaf variants chain no source.
+        assert!(std::error::Error::source(&e).is_none());
     }
 }

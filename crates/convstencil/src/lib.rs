@@ -34,8 +34,10 @@ pub mod variants;
 pub mod verify_plan;
 pub mod weights;
 
-pub use api::{ConvStencil1D, ConvStencil2D, ConvStencil3D, RunReport, VerifyConfig, MAX_NK};
-pub use error::ConvStencilError;
+pub use api::{
+    check_samples, ConvStencil1D, ConvStencil2D, ConvStencil3D, RunReport, VerifyConfig, MAX_NK,
+};
+pub use error::{ConvStencilError, DeadlineKind};
 pub use exec1d::Exec1D;
 pub use exec2d::Exec2D;
 pub use exec3d::Exec3D;

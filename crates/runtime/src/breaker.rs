@@ -1,0 +1,209 @@
+//! Per-device circuit breaker.
+//!
+//! Each pool slot carries one breaker guarding admission to its device.
+//! The state machine is the classic three-state breaker, but the clock is
+//! *logical*: cooldowns are measured in units of work completed anywhere
+//! on the pool (chunks of timesteps), never in wall time, so every
+//! transition is deterministic and reproducible under test.
+//!
+//! ```text
+//! Closed { consecutive_failures }
+//!    -- failure #K -------------------> Open { until = now + cooldown }
+//! Open -- clock reaches `until` ------> HalfOpen      (probe admitted)
+//! HalfOpen -- probe succeeds ---------> Closed { 0 }
+//! HalfOpen -- probe fails ------------> Open { until = now + cooldown }
+//! ```
+
+/// Tuning for a [`CircuitBreaker`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// How long an open breaker stays closed to traffic, measured in
+    /// completed work units on the pool (a "job" here is one committed
+    /// chunk of timesteps — the runtime's unit of completed work).
+    pub cooldown_jobs: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            failure_threshold: 3,
+            cooldown_jobs: 2,
+        }
+    }
+}
+
+/// Observable breaker state (also what checkpoints persist).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy; counts consecutive failures toward the threshold.
+    Closed { consecutive_failures: u32 },
+    /// Tripped; no traffic until the pool clock reaches `until_jobs`.
+    Open { until_jobs: u64 },
+    /// Cooldown elapsed; exactly one probe is admitted.
+    HalfOpen,
+}
+
+/// The breaker itself: config + current state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+}
+
+impl CircuitBreaker {
+    pub fn new(config: BreakerConfig) -> Self {
+        Self {
+            config,
+            state: BreakerState::Closed {
+                consecutive_failures: 0,
+            },
+        }
+    }
+
+    /// Rebuild a breaker from a checkpointed state.
+    pub fn restore(config: BreakerConfig, state: BreakerState) -> Self {
+        Self { config, state }
+    }
+
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Would a request be admitted at pool clock `now_jobs`? Transitions
+    /// `Open -> HalfOpen` when the cooldown has elapsed (the caller is
+    /// then expected to actually send the probe).
+    pub fn admits(&mut self, now_jobs: u64) -> bool {
+        match self.state {
+            BreakerState::Closed { .. } | BreakerState::HalfOpen => true,
+            BreakerState::Open { until_jobs } => {
+                if now_jobs >= until_jobs {
+                    self.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// A unit of work completed on the guarded device.
+    pub fn record_success(&mut self) {
+        self.state = BreakerState::Closed {
+            consecutive_failures: 0,
+        };
+    }
+
+    /// A unit of work failed on the guarded device at pool clock
+    /// `now_jobs`. Returns `true` when this failure tripped the breaker
+    /// open (either the threshold was reached or a half-open probe failed).
+    pub fn record_failure(&mut self, now_jobs: u64) -> bool {
+        match self.state {
+            BreakerState::Closed {
+                consecutive_failures,
+            } => {
+                let failures = consecutive_failures + 1;
+                if failures >= self.config.failure_threshold {
+                    self.state = BreakerState::Open {
+                        until_jobs: now_jobs + self.config.cooldown_jobs,
+                    };
+                    true
+                } else {
+                    self.state = BreakerState::Closed {
+                        consecutive_failures: failures,
+                    };
+                    false
+                }
+            }
+            BreakerState::HalfOpen => {
+                self.state = BreakerState::Open {
+                    until_jobs: now_jobs + self.config.cooldown_jobs,
+                };
+                true
+            }
+            // A failure while open (shouldn't be reachable through
+            // `admits`) just extends the cooldown.
+            BreakerState::Open { .. } => {
+                self.state = BreakerState::Open {
+                    until_jobs: now_jobs + self.config.cooldown_jobs,
+                };
+                true
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(threshold: u32, cooldown: u64) -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: threshold,
+            cooldown_jobs: cooldown,
+        })
+    }
+
+    #[test]
+    fn opens_after_k_consecutive_failures() {
+        let mut b = breaker(3, 2);
+        assert!(!b.record_failure(0));
+        assert!(!b.record_failure(0));
+        assert_eq!(
+            b.state(),
+            BreakerState::Closed {
+                consecutive_failures: 2
+            }
+        );
+        assert!(b.record_failure(5), "third failure must trip the breaker");
+        assert_eq!(b.state(), BreakerState::Open { until_jobs: 7 });
+        assert!(!b.admits(6), "still cooling down");
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let mut b = breaker(2, 1);
+        assert!(!b.record_failure(0));
+        b.record_success();
+        assert!(!b.record_failure(0), "streak restarted after a success");
+        assert!(b.record_failure(0));
+    }
+
+    #[test]
+    fn half_open_probe_success_closes() {
+        let mut b = breaker(1, 3);
+        assert!(b.record_failure(10));
+        assert!(!b.admits(12));
+        assert!(b.admits(13), "cooldown elapsed: probe admitted");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_success();
+        assert_eq!(
+            b.state(),
+            BreakerState::Closed {
+                consecutive_failures: 0
+            }
+        );
+    }
+
+    #[test]
+    fn half_open_probe_failure_reopens() {
+        let mut b = breaker(1, 3);
+        assert!(b.record_failure(10));
+        assert!(b.admits(13));
+        assert!(b.record_failure(13), "failed probe trips it open again");
+        assert_eq!(b.state(), BreakerState::Open { until_jobs: 16 });
+        assert!(!b.admits(15));
+        assert!(b.admits(16));
+    }
+
+    #[test]
+    fn restore_round_trips_state() {
+        let cfg = BreakerConfig::default();
+        let s = BreakerState::Open { until_jobs: 42 };
+        let mut b = CircuitBreaker::restore(cfg, s);
+        assert_eq!(b.state(), s);
+        assert!(!b.admits(41));
+        assert!(b.admits(42));
+    }
+}

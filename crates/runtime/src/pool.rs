@@ -1,0 +1,150 @@
+//! Device pool: N simulated devices, each with its own fault plan,
+//! health state, and circuit breaker.
+//!
+//! The pool keeps one logical clock — `completed`, the number of chunks
+//! committed anywhere on the pool — which the breakers use for their
+//! cooldowns (see [`crate::breaker`]). Everything is deterministic: no
+//! wall time, no randomness beyond the devices' own seeded fault plans.
+
+use crate::breaker::CircuitBreaker;
+use tcu_sim::{Device, FaultPlan};
+
+/// One pool slot: a device plus its guard rails.
+#[derive(Debug)]
+pub struct DeviceSlot {
+    /// Stable slot index (also the id reported in job events).
+    pub id: usize,
+    pub device: Device,
+    /// The fault plan this slot's device was built with (persisted to
+    /// checkpoints so resume can rebuild an identical fault stream).
+    pub plan: Option<FaultPlan>,
+    pub breaker: CircuitBreaker,
+}
+
+/// A fixed-size pool of devices.
+#[derive(Debug)]
+pub struct DevicePool {
+    slots: Vec<DeviceSlot>,
+    completed: u64,
+}
+
+impl DevicePool {
+    pub fn new(slots: Vec<DeviceSlot>) -> Self {
+        Self {
+            slots,
+            completed: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The pool's logical clock: chunks committed on any device.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Restore the logical clock from a checkpoint.
+    pub fn restore_completed(&mut self, completed: u64) {
+        self.completed = completed;
+    }
+
+    pub fn slots(&self) -> &[DeviceSlot] {
+        &self.slots
+    }
+
+    pub fn slot(&self, id: usize) -> &DeviceSlot {
+        &self.slots[id]
+    }
+
+    pub fn slot_mut(&mut self, id: usize) -> &mut DeviceSlot {
+        &mut self.slots[id]
+    }
+
+    /// Lowest-id slot that is alive and whose breaker admits traffic at
+    /// the current pool clock (an expired cooldown flips that breaker to
+    /// half-open, so the returned slot may be a probe). `exclude` skips
+    /// the device a chunk just failed on, so migration never "migrates"
+    /// back to the failing device within the same chunk.
+    pub fn pick_healthy(&mut self, exclude: Option<usize>) -> Option<usize> {
+        let now = self.completed;
+        for slot in &mut self.slots {
+            if Some(slot.id) == exclude || slot.device.is_dead() {
+                continue;
+            }
+            if slot.breaker.admits(now) {
+                return Some(slot.id);
+            }
+        }
+        None
+    }
+
+    /// A chunk committed on `id`: closes (or keeps closed) its breaker
+    /// and advances the pool clock.
+    pub fn record_success(&mut self, id: usize) {
+        self.slots[id].breaker.record_success();
+        self.completed += 1;
+    }
+
+    /// A chunk failed on `id` after exhausting same-device retries.
+    /// Returns `true` when this tripped the slot's breaker open.
+    pub fn record_failure(&mut self, id: usize) -> bool {
+        let now = self.completed;
+        self.slots[id].breaker.record_failure(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::breaker::{BreakerConfig, BreakerState};
+    use tcu_sim::{Device, DeviceConfig};
+
+    fn pool(n: usize, threshold: u32, cooldown: u64) -> DevicePool {
+        let cfg = BreakerConfig {
+            failure_threshold: threshold,
+            cooldown_jobs: cooldown,
+        };
+        DevicePool::new(
+            (0..n)
+                .map(|id| DeviceSlot {
+                    id,
+                    device: Device::new(DeviceConfig::a100()),
+                    plan: None,
+                    breaker: CircuitBreaker::new(cfg),
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn picks_lowest_healthy_and_respects_exclude() {
+        let mut p = pool(3, 1, 10);
+        assert_eq!(p.pick_healthy(None), Some(0));
+        assert_eq!(p.pick_healthy(Some(0)), Some(1));
+    }
+
+    #[test]
+    fn dead_devices_are_skipped_even_with_closed_breakers() {
+        let mut p = pool(2, 3, 10);
+        p.slot_mut(0).device.kill();
+        assert_eq!(p.pick_healthy(None), Some(1));
+    }
+
+    #[test]
+    fn open_breaker_diverts_traffic_until_cooldown() {
+        let mut p = pool(2, 1, 2);
+        assert!(p.record_failure(0), "threshold 1 trips immediately");
+        assert_eq!(p.pick_healthy(None), Some(1));
+        // Two successes elsewhere advance the clock past the cooldown.
+        p.record_success(1);
+        p.record_success(1);
+        assert_eq!(p.pick_healthy(None), Some(0), "half-open probe admitted");
+        assert_eq!(p.slot(0).breaker.state(), BreakerState::HalfOpen);
+    }
+}

@@ -67,6 +67,10 @@ pub struct CostBreakdown {
     pub parallel_efficiency: f64,
     /// Fixed launch overhead.
     pub t_launch: f64,
+    /// Exposed device stall time from injected hangs
+    /// (`Counters::hang_stall_cycles`); fully serialized, so it is not
+    /// scaled by the efficiency factors.
+    pub t_stall: f64,
     /// Final modelled wall time (Eq. 2 with calibration).
     pub total: f64,
 }
@@ -150,6 +154,13 @@ impl CostModel {
             / (self.config.clock_hz * self.config.num_sms as f64)
     }
 
+    /// Exposed stall time of injected device hangs: the whole device sits
+    /// idle, so the cycles convert at the base clock with no parallel or
+    /// calibration scaling.
+    pub fn stall_time(&self, c: &Counters) -> f64 {
+        c.hang_stall_cycles as f64 / self.config.clock_hz
+    }
+
     /// Full model: Eq. 2 over Eq. 3/4 with the calibrated efficiency and
     /// wave quantization.
     pub fn evaluate(&self, c: &Counters, stats: &LaunchStats) -> CostBreakdown {
@@ -164,7 +175,8 @@ impl CostModel {
         // exposed (see DeviceConfig::overlap_exposure).
         let t_core =
             t_compute.max(t_memory) + self.config.overlap_exposure * t_compute.min(t_memory);
-        let total = t_core / (self.config.efficiency * eff_par) + t_launch;
+        let t_stall = self.stall_time(c);
+        let total = t_core / (self.config.efficiency * eff_par) + t_launch + t_stall;
         CostBreakdown {
             t_tcu,
             t_cuda_fma,
@@ -176,6 +188,7 @@ impl CostModel {
             t_memory,
             parallel_efficiency: eff_par,
             t_launch,
+            t_stall,
             total,
         }
     }
@@ -195,7 +208,7 @@ impl CostModel {
         let t_memory = t_global.max(t_shared);
         let t_core =
             t_compute.max(t_memory) + self.config.overlap_exposure * t_compute.min(t_memory);
-        t_core / self.config.efficiency
+        t_core / self.config.efficiency + self.stall_time(c)
     }
 
     /// Throughput in GStencils/s (Eq. 16) for `points` stencil points
@@ -335,6 +348,25 @@ mod tests {
         let expected = (b.t_compute + m.config.overlap_exposure * b.t_memory) / m.config.efficiency
             + m.config.launch_overhead_sec;
         assert!((b.total - expected).abs() / expected < 1e-12);
+    }
+
+    #[test]
+    fn hang_stall_cycles_add_unscaled_stall_time() {
+        let m = model();
+        let stalled = Counters {
+            hang_stall_cycles: (m.config.clock_hz as u64) / 100, // 10 ms of stall
+            ..Default::default()
+        };
+        let stats = LaunchStats {
+            kernel_launches: 1,
+            total_blocks: 108,
+        };
+        let b = m.evaluate(&stalled, &stats);
+        assert!((b.t_stall - 0.01).abs() < 1e-4, "t_stall = {}", b.t_stall);
+        let quiet = m.evaluate(&Counters::default(), &stats);
+        assert!((b.total - quiet.total - b.t_stall).abs() < 1e-12);
+        // Span attribution carries the stall too.
+        assert!((m.span_time(&stalled) - b.t_stall).abs() < 1e-12);
     }
 
     #[test]

@@ -71,6 +71,13 @@ pub struct Counters {
     pub smem_faults_injected: u64,
     /// Injected whole-launch failures.
     pub launch_faults_injected: u64,
+    /// Sticky device-death events (the launch that killed the device; see
+    /// `tcu_sim::fault::FaultPlan::die_at_launch`).
+    pub device_lost_events: u64,
+    /// Device clock cycles spent stalled in injected hangs (see
+    /// `tcu_sim::fault::HangSpec`). Charged to the cost model as exposed
+    /// stall time so hangs trip cost-model deadlines.
+    pub hang_stall_cycles: u64,
 }
 
 impl Counters {
@@ -120,7 +127,10 @@ impl Counters {
 
     /// Total injected faults of every class.
     pub fn faults_injected(&self) -> u64 {
-        self.frag_faults_injected + self.smem_faults_injected + self.launch_faults_injected
+        self.frag_faults_injected
+            + self.smem_faults_injected
+            + self.launch_faults_injected
+            + self.device_lost_events
     }
 
     /// Sector inflation factor for global reads: actual / minimum.
@@ -181,13 +191,15 @@ impl Counters {
             frag_faults_injected: self.frag_faults_injected,
             smem_faults_injected: self.smem_faults_injected,
             launch_faults_injected: self.launch_faults_injected,
+            device_lost_events: self.device_lost_events,
+            hang_stall_cycles: self.hang_stall_cycles,
         }
     }
 
     /// Every field as a `(name, value)` pair, in declaration order. The
     /// names are the stable wire names used by the trace JSONL codec and
     /// the bench `BENCH_*.json` digests.
-    pub fn field_pairs(&self) -> [(&'static str, u64); 25] {
+    pub fn field_pairs(&self) -> [(&'static str, u64); 27] {
         [
             ("dmma_ops", self.dmma_ops),
             ("hmma_ops", self.hmma_ops),
@@ -214,6 +226,8 @@ impl Counters {
             ("frag_faults_injected", self.frag_faults_injected),
             ("smem_faults_injected", self.smem_faults_injected),
             ("launch_faults_injected", self.launch_faults_injected),
+            ("device_lost_events", self.device_lost_events),
+            ("hang_stall_cycles", self.hang_stall_cycles),
         ]
     }
 
@@ -246,6 +260,8 @@ impl Counters {
             "frag_faults_injected" => &mut self.frag_faults_injected,
             "smem_faults_injected" => &mut self.smem_faults_injected,
             "launch_faults_injected" => &mut self.launch_faults_injected,
+            "device_lost_events" => &mut self.device_lost_events,
+            "hang_stall_cycles" => &mut self.hang_stall_cycles,
             _ => return false,
         };
         *slot = value;
@@ -299,6 +315,8 @@ impl AddAssign for Counters {
         self.frag_faults_injected += rhs.frag_faults_injected;
         self.smem_faults_injected += rhs.smem_faults_injected;
         self.launch_faults_injected += rhs.launch_faults_injected;
+        self.device_lost_events += rhs.device_lost_events;
+        self.hang_stall_cycles += rhs.hang_stall_cycles;
     }
 }
 

@@ -143,6 +143,10 @@ pub struct Device {
     /// Monotone count of `try_launch` calls, including ones that failed —
     /// the launch coordinate for fault decisions.
     launch_attempts: u64,
+    /// Sticky device death: once set (by [`FaultPlan::die_at_launch`] or
+    /// [`Device::kill`]), every launch returns
+    /// [`DeviceError::DeviceLost`] until the device is replaced.
+    dead: bool,
     /// Whether per-phase span tracing is active (see [`crate::trace`]).
     tracing: bool,
     /// Accumulated spans while tracing (drained with [`Device::take_trace`]).
@@ -174,6 +178,7 @@ impl Device {
             fault: None,
             fault_epoch: 0,
             launch_attempts: 0,
+            dead: false,
             tracing: false,
             trace: Trace::new(),
             sanitize: false,
@@ -349,6 +354,28 @@ impl Device {
         self.fault_epoch
     }
 
+    /// Whether the device has suffered a sticky death (every launch now
+    /// fails with [`DeviceError::DeviceLost`]).
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Kill the device unconditionally (tests and chaos harnesses).
+    pub fn kill(&mut self) {
+        self.dead = true;
+    }
+
+    /// Restore the fault cursor after a checkpoint resume: fault epoch,
+    /// launch-attempt counter, and death flag. With the same plan
+    /// installed, the device's fault stream continues exactly where the
+    /// checkpointed run left off — the crash-consistency contract the
+    /// runtime's resume path relies on.
+    pub fn restore_fault_cursor(&mut self, epoch: u64, attempts: u64, dead: bool) {
+        self.fault_epoch = epoch;
+        self.launch_attempts = attempts;
+        self.dead = dead;
+    }
+
     /// Launch a kernel of `num_blocks` blocks, each with `shared_len` f64
     /// of shared memory. The closure runs once per block index.
     ///
@@ -375,6 +402,13 @@ impl Device {
     where
         F: Fn(usize, &mut BlockCtx) + Sync,
     {
+        if self.dead {
+            // A dead device rejects everything without consuming a launch
+            // attempt: the device is gone, not advancing through time.
+            return Err(DeviceError::DeviceLost {
+                launch_attempt: self.launch_attempts,
+            });
+        }
         if shared_len * 8 > self.config.shared_capacity_bytes as usize {
             return Err(DeviceError::SharedMemoryExceeded {
                 requested_bytes: shared_len * 8,
@@ -384,8 +418,48 @@ impl Device {
         let attempt = self.launch_attempts;
         self.launch_attempts += 1;
         let wall_start = self.tracing.then(Instant::now);
-        if let Some(plan) = &self.fault {
-            if fault::launch_fails(plan, self.fault_epoch, attempt) {
+        if let Some(plan) = self.fault {
+            // Device-level modes are positional in launch attempts (device
+            // time), independent of the fault epoch: a retry cannot dodge a
+            // sticky death and rides out an ECC burst by advancing past it.
+            if plan.die_at_launch.is_some_and(|d| attempt >= d) {
+                self.dead = true;
+                self.counters.device_lost_events += 1;
+                if let Some(t0) = wall_start {
+                    self.trace.push(Span {
+                        phase: Phase::LaunchFault,
+                        launch: attempt,
+                        counters: Counters {
+                            device_lost_events: 1,
+                            ..Counters::default()
+                        },
+                        modeled_sec: 0.0,
+                        wall_ns: t0.elapsed().as_nanos() as u64,
+                    });
+                }
+                return Err(DeviceError::DeviceLost {
+                    launch_attempt: attempt,
+                });
+            }
+            if plan.ecc_burst.is_some_and(|b| b.contains(attempt)) {
+                self.counters.launch_faults_injected += 1;
+                if let Some(t0) = wall_start {
+                    self.trace.push(Span {
+                        phase: Phase::LaunchFault,
+                        launch: attempt,
+                        counters: Counters {
+                            launch_faults_injected: 1,
+                            ..Counters::default()
+                        },
+                        modeled_sec: 0.0,
+                        wall_ns: t0.elapsed().as_nanos() as u64,
+                    });
+                }
+                return Err(DeviceError::InjectedLaunchFailure {
+                    launch_attempt: attempt,
+                });
+            }
+            if fault::launch_fails(&plan, self.fault_epoch, attempt) {
                 self.counters.launch_faults_injected += 1;
                 // With tracing on, the aborted launch still gets a span so
                 // the trace's counter sum matches the device ledger.
@@ -404,6 +478,25 @@ impl Device {
                 return Err(DeviceError::InjectedLaunchFailure {
                     launch_attempt: attempt,
                 });
+            }
+            if let Some(hang) = plan.hang.filter(|h| h.at_launch == attempt) {
+                // The hang stalls the device but the launch still completes;
+                // the stall is charged to the cost model, where it trips
+                // cost-budget deadlines.
+                self.counters.hang_stall_cycles += hang.stall_cycles;
+                if self.tracing {
+                    let stall = Counters {
+                        hang_stall_cycles: hang.stall_cycles,
+                        ..Counters::default()
+                    };
+                    self.trace.push(Span {
+                        phase: Phase::DeviceStall,
+                        launch: attempt,
+                        modeled_sec: CostModel::new(self.config.clone()).stall_time(&stall),
+                        counters: stall,
+                        wall_ns: 0,
+                    });
+                }
             }
         }
         let cfg = &self.config;
@@ -1190,6 +1283,90 @@ mod tests {
         assert_eq!(trace.len(), 1);
         assert_eq!(trace.spans[0].phase, Phase::LaunchFault);
         assert_eq!(trace.total_counters(), dev.counters);
+    }
+
+    #[test]
+    fn sticky_device_death_is_permanent_and_counted() {
+        let mut dev = Device::a100();
+        dev.set_fault_plan(Some(FaultPlan::quiet(1).with_device_death_at(2)));
+        assert!(dev.try_launch(1, 16, |_, _| {}).is_ok());
+        assert!(dev.try_launch(1, 16, |_, _| {}).is_ok());
+        assert!(!dev.is_dead());
+        let err = dev.try_launch(1, 16, |_, _| {});
+        assert_eq!(err, Err(DeviceError::DeviceLost { launch_attempt: 2 }));
+        assert!(dev.is_dead());
+        assert_eq!(dev.counters.device_lost_events, 1);
+        // Death is sticky: retries and epoch bumps do not revive it, and
+        // no further launch attempts are consumed.
+        dev.advance_fault_epoch();
+        assert!(matches!(
+            dev.try_launch(1, 16, |_, _| {}),
+            Err(DeviceError::DeviceLost { .. })
+        ));
+        assert_eq!(dev.launch_attempts(), 3);
+        assert_eq!(dev.counters.device_lost_events, 1);
+    }
+
+    #[test]
+    fn ecc_burst_fails_only_inside_its_window() {
+        let mut dev = Device::a100();
+        dev.set_fault_plan(Some(FaultPlan::quiet(1).with_ecc_burst(1, 2)));
+        let results: Vec<bool> = (0..5)
+            .map(|_| dev.try_launch(1, 16, |_, _| {}).is_ok())
+            .collect();
+        assert_eq!(results, [true, false, false, true, true]);
+        assert_eq!(dev.counters.launch_faults_injected, 2);
+        assert!(!dev.is_dead());
+    }
+
+    #[test]
+    fn injected_hang_charges_stall_cycles_and_completes() {
+        let mut dev = Device::a100();
+        dev.set_tracing(true);
+        dev.set_fault_plan(Some(FaultPlan::quiet(1).with_hang_at(1, 1_000_000)));
+        let dst = dev.alloc(4);
+        for _ in 0..3 {
+            dev.try_launch(1, 16, |_, ctx| ctx.gmem_write_span(dst, 0, &[7.0]))
+                .unwrap();
+        }
+        // The hung launch still retired its writes.
+        assert_eq!(dev.download(dst)[0], 7.0);
+        assert_eq!(dev.counters.hang_stall_cycles, 1_000_000);
+        let trace = dev.take_trace();
+        let stall: Vec<&Span> = trace
+            .spans
+            .iter()
+            .filter(|s| s.phase == Phase::DeviceStall)
+            .collect();
+        assert_eq!(stall.len(), 1);
+        assert_eq!(stall[0].launch, 1);
+        assert!(stall[0].modeled_sec > 0.0);
+        assert_eq!(trace.total_counters(), dev.counters);
+        // The stall shows up in the modelled cost as an additive term.
+        assert!(dev.modelled_cost().t_stall > 0.0);
+    }
+
+    #[test]
+    fn restore_fault_cursor_realigns_the_fault_stream() {
+        let plan = FaultPlan::quiet(5).with_launch_fail_rate(0.4);
+        let run = |dev: &mut Device, n: usize| -> Vec<bool> {
+            (0..n)
+                .map(|_| dev.try_launch(1, 16, |_, _| {}).is_ok())
+                .collect()
+        };
+        let mut full = Device::a100();
+        full.set_fault_plan(Some(plan));
+        let expected = run(&mut full, 16);
+        // Interrupt after 6 launches, "resume" on a fresh device.
+        let mut first = Device::a100();
+        first.set_fault_plan(Some(plan));
+        let head = run(&mut first, 6);
+        let mut resumed = Device::a100();
+        resumed.set_fault_plan(Some(plan));
+        resumed.restore_fault_cursor(first.fault_epoch(), first.launch_attempts(), false);
+        let tail = run(&mut resumed, 10);
+        let stitched: Vec<bool> = head.into_iter().chain(tail).collect();
+        assert_eq!(stitched, expected);
     }
 
     #[test]

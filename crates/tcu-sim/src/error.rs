@@ -14,6 +14,24 @@ pub enum DeviceError {
     /// The active [`crate::FaultPlan`] aborted this launch before any block
     /// ran (models a transient driver/ECC launch failure).
     InjectedLaunchFailure { launch_attempt: u64 },
+    /// The device died (sticky: every launch after
+    /// [`crate::FaultPlan::die_at_launch`] fires returns this). Models
+    /// `cudaErrorDeviceLost` — the device cannot be recovered by retrying;
+    /// callers must migrate the work to another device.
+    DeviceLost { launch_attempt: u64 },
+}
+
+impl DeviceError {
+    /// True for fault-injected failures a resilient caller may recover from
+    /// by retrying or migrating (as opposed to configuration errors such as
+    /// [`DeviceError::SharedMemoryExceeded`], which will recur on any
+    /// identically configured device).
+    pub fn is_transient_class(&self) -> bool {
+        matches!(
+            self,
+            DeviceError::InjectedLaunchFailure { .. } | DeviceError::DeviceLost { .. }
+        )
+    }
 }
 
 impl fmt::Display for DeviceError {
@@ -28,6 +46,9 @@ impl fmt::Display for DeviceError {
             ),
             DeviceError::InjectedLaunchFailure { launch_attempt } => {
                 write!(f, "injected launch failure at launch attempt {launch_attempt}")
+            }
+            DeviceError::DeviceLost { launch_attempt } => {
+                write!(f, "device lost at launch attempt {launch_attempt}")
             }
         }
     }

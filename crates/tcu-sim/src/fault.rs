@@ -14,8 +14,43 @@
 
 use serde::{Deserialize, Serialize};
 
+/// A contiguous window of launch attempts during which every launch fails
+/// with an ECC-style transient error. Positional (not probabilistic): the
+/// burst models a thermal/ECC event in *device time*, so retries ride it
+/// out by advancing the attempt counter past the window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EccBurst {
+    /// First launch attempt inside the burst.
+    pub start: u64,
+    /// Number of consecutive attempts that fail (`[start, start + len)`).
+    pub len: u64,
+}
+
+impl EccBurst {
+    /// Does `attempt` fall inside the burst window?
+    pub fn contains(&self, attempt: u64) -> bool {
+        attempt >= self.start && attempt - self.start < self.len
+    }
+}
+
+/// A simulated device hang: one launch stalls the device for a fixed number
+/// of clock cycles before completing. The stall is charged to the cost
+/// model (`Counters::hang_stall_cycles` → `CostBreakdown::t_stall_sec`), so
+/// a hang trips cost-model deadlines without blocking the host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HangSpec {
+    /// Launch attempt that hangs.
+    pub at_launch: u64,
+    /// Modeled stall duration in device clock cycles.
+    pub stall_cycles: u64,
+}
+
 /// Fault-injection configuration. All rates are probabilities in `[0, 1]`
-/// evaluated independently per site.
+/// evaluated independently per site. The device-level modes
+/// ([`die_at_launch`](Self::die_at_launch), [`ecc_burst`](Self::ecc_burst),
+/// [`hang`](Self::hang)) are positional in launch attempts rather than
+/// probabilistic: they model events in *device time*, so retrying does not
+/// dodge a sticky death and a burst passes once enough attempts elapse.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FaultPlan {
     /// Master seed; two plans with different seeds fault at different sites.
@@ -28,6 +63,14 @@ pub struct FaultPlan {
     /// Per-launch probability that the launch aborts before any block runs
     /// ([`crate::DeviceError::InjectedLaunchFailure`]).
     pub launch_fail_rate: f64,
+    /// Sticky device death: the device dies permanently at this launch
+    /// attempt and every launch from then on returns
+    /// [`crate::DeviceError::DeviceLost`].
+    pub die_at_launch: Option<u64>,
+    /// Transient ECC-style fault burst over a window of launch attempts.
+    pub ecc_burst: Option<EccBurst>,
+    /// Simulated hang charged to the cost model.
+    pub hang: Option<HangSpec>,
 }
 
 impl FaultPlan {
@@ -39,6 +82,9 @@ impl FaultPlan {
             dmma_flip_rate: 0.0,
             smem_corrupt_rate: 0.0,
             launch_fail_rate: 0.0,
+            die_at_launch: None,
+            ecc_burst: None,
+            hang: None,
         }
     }
 
@@ -57,9 +103,35 @@ impl FaultPlan {
         self
     }
 
+    /// Sticky device death at launch attempt `attempt` (and forever after).
+    pub fn with_device_death_at(mut self, attempt: u64) -> Self {
+        self.die_at_launch = Some(attempt);
+        self
+    }
+
+    /// Transient ECC burst: attempts `[start, start + len)` fail.
+    pub fn with_ecc_burst(mut self, start: u64, len: u64) -> Self {
+        self.ecc_burst = Some(EccBurst { start, len });
+        self
+    }
+
+    /// Hang launch attempt `at_launch` for `stall_cycles` device cycles.
+    pub fn with_hang_at(mut self, at_launch: u64, stall_cycles: u64) -> Self {
+        self.hang = Some(HangSpec {
+            at_launch,
+            stall_cycles,
+        });
+        self
+    }
+
     /// True if no fault class can ever fire.
     pub fn is_quiet(&self) -> bool {
-        self.dmma_flip_rate <= 0.0 && self.smem_corrupt_rate <= 0.0 && self.launch_fail_rate <= 0.0
+        self.dmma_flip_rate <= 0.0
+            && self.smem_corrupt_rate <= 0.0
+            && self.launch_fail_rate <= 0.0
+            && self.die_at_launch.is_none()
+            && self.ecc_burst.is_none()
+            && self.hang.is_none()
     }
 }
 
@@ -245,6 +317,24 @@ mod tests {
                 "corruption of {v} -> {c} not detectable"
             );
         }
+    }
+
+    #[test]
+    fn ecc_burst_window_is_half_open() {
+        let burst = EccBurst { start: 4, len: 3 };
+        assert!(!burst.contains(3));
+        assert!(burst.contains(4));
+        assert!(burst.contains(6));
+        assert!(!burst.contains(7));
+        assert!(!EccBurst { start: 4, len: 0 }.contains(4));
+    }
+
+    #[test]
+    fn device_level_modes_break_quietness() {
+        assert!(FaultPlan::quiet(1).is_quiet());
+        assert!(!FaultPlan::quiet(1).with_device_death_at(10).is_quiet());
+        assert!(!FaultPlan::quiet(1).with_ecc_burst(0, 2).is_quiet());
+        assert!(!FaultPlan::quiet(1).with_hang_at(3, 1_000).is_quiet());
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub use cost::{CostBreakdown, CostModel, LaunchStats};
 pub use counters::Counters;
 pub use device::{BlockCtx, Device};
 pub use error::DeviceError;
-pub use fault::FaultPlan;
+pub use fault::{EccBurst, FaultPlan, HangSpec};
 pub use fragment::{dmma, hmma, FragA, FragAcc, FragB, Tile16};
 pub use global::{BufferId, GlobalMemory, INACTIVE};
 pub use sanitize::{FaultSite, SanitizerReport, ShadowState, Violation, ViolationKind};

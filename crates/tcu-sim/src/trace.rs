@@ -45,13 +45,16 @@ pub enum Phase {
     Retry,
     /// An injected whole-launch failure (carries the fault counter).
     LaunchFault,
+    /// An injected device hang (carries the stall-cycle counter; see
+    /// `FaultPlan::hang`).
+    DeviceStall,
     /// Work charged outside any explicit phase.
     Uncategorized,
 }
 
 impl Phase {
     /// Every phase, in canonical (pipeline) order.
-    pub const ALL: [Phase; 9] = [
+    pub const ALL: [Phase; 10] = [
         Phase::LayoutTransform,
         Phase::SmemScatter,
         Phase::Tessellation,
@@ -60,6 +63,7 @@ impl Phase {
         Phase::Verify,
         Phase::Retry,
         Phase::LaunchFault,
+        Phase::DeviceStall,
         Phase::Uncategorized,
     ];
 
@@ -74,6 +78,7 @@ impl Phase {
             Phase::Verify => "verify",
             Phase::Retry => "retry",
             Phase::LaunchFault => "launch_fault",
+            Phase::DeviceStall => "device_stall",
             Phase::Uncategorized => "uncategorized",
         }
     }

@@ -8,5 +8,6 @@
 
 pub use convstencil;
 pub use convstencil_baselines as baselines;
+pub use convstencil_runtime as runtime;
 pub use stencil_core;
 pub use tcu_sim;
